@@ -1,0 +1,59 @@
+"""Ablations of PADC's design choices (DESIGN.md §4 extensions).
+
+Not paper figures — these sweep the parameters the paper fixes (drop
+thresholds, promotion threshold, sampling interval, prefetcher
+aggressiveness) to verify the chosen values sit in sensible regions.
+"""
+
+from conftest import run_once
+
+
+def test_ablation_drop_threshold(benchmark, scale):
+    result = run_once(benchmark, "ablation_drop_threshold", scale)
+    rows = {row["variant"]: row for row in result.rows}
+    # Aggressive fixed dropping removes the most; dynamic drops a
+    # nontrivial amount; no-drop drops nothing.
+    assert rows["no-drop (aps)"]["dropped"] == 0
+    assert rows["fixed-100"]["dropped"] >= rows["dynamic (Table 6)"]["dropped"]
+    assert rows["dynamic (Table 6)"]["dropped"] > 0
+    # Dynamic keeps performance within the envelope of the alternatives.
+    best = max(row["ws"] for row in result.rows)
+    assert rows["dynamic (Table 6)"]["ws"] >= best * 0.93
+    print(result.to_table())
+
+
+def test_ablation_promotion(benchmark, scale):
+    result = run_once(benchmark, "ablation_promotion", scale)
+    values = [row["ws"] for row in result.rows]
+    # The sweep runs and stays in a sane range; the paper's 0.85 is not
+    # catastrophically worse than the best setting.
+    chosen = next(
+        row["ws"] for row in result.rows if row["promotion_threshold"] == 0.85
+    )
+    assert chosen >= max(values) * 0.90
+    print(result.to_table())
+
+
+def test_ablation_interval(benchmark, scale):
+    result = run_once(benchmark, "ablation_interval", scale)
+    # Shorter intervals react to milc's phases and drop more junk.
+    by_interval = {row["interval"]: row for row in result.rows}
+    assert by_interval[25_000]["dropped"] >= by_interval[400_000]["dropped"]
+    print(result.to_table())
+
+
+def test_ablation_aggressiveness(benchmark, scale):
+    result = run_once(benchmark, "ablation_aggressiveness", scale)
+    # At the most aggressive setting, PADC loses less than demand-first
+    # relative to the paper's 4/64 default (it drops the extra junk).
+    def ws(policy, degree):
+        return next(
+            row["ws"]
+            for row in result.rows
+            if row["policy"] == policy and row["degree"] == degree
+        )
+
+    padc_degradation = ws("padc", 8) / ws("padc", 4)
+    rigid_degradation = ws("demand-first", 8) / ws("demand-first", 4)
+    assert padc_degradation >= rigid_degradation - 0.05
+    print(result.to_table())

@@ -1,0 +1,28 @@
+"""Figure 1: rigid policies on 10 benchmarks (normalized to no-pref).
+
+Paper shape: the five prefetch-unfriendly benchmarks (galgel, ammp,
+xalancbmk, art, milc) prefer demand-first; the five friendly ones (swim,
+libquantum, bwaves, leslie3d, lbm) prefer demand-prefetch-equal.
+"""
+
+from conftest import run_once
+
+UNFRIENDLY = {"galgel", "ammp", "xalancbmk", "art", "milc"}
+FRIENDLY = {"swim", "libquantum", "bwaves", "leslie3d", "lbm"}
+
+
+def test_fig01(benchmark, scale):
+    result = run_once(benchmark, "fig01", scale)
+    rows = {row["benchmark"]: row for row in result.rows}
+    unfriendly_margin = [
+        rows[b]["demand-first"] - rows[b]["demand-pref-equal"] for b in UNFRIENDLY
+    ]
+    friendly_margin = [
+        rows[b]["demand-pref-equal"] - rows[b]["demand-first"] for b in FRIENDLY
+    ]
+    # Every unfriendly benchmark individually prefers demand-first.
+    assert all(margin > -0.02 for margin in unfriendly_margin)
+    assert sum(unfriendly_margin) > 0
+    # The friendly group prefers equal treatment on aggregate.
+    assert sum(friendly_margin) > 0
+    print(result.to_table())

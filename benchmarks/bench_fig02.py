@@ -1,0 +1,16 @@
+"""Figure 2: the scheduling walkthrough — must match the paper exactly."""
+
+from conftest import run_once
+
+
+def test_fig02(benchmark, scale):
+    result = run_once(benchmark, "fig02", scale)
+    values = {
+        (row["prefetches"], row["policy"]): row["total_cycles"]
+        for row in result.rows
+    }
+    assert values[("useful", "demand-first")] == 725
+    assert values[("useful", "demand-prefetch-equal")] == 575
+    assert values[("useless", "demand-first")] == 325
+    assert values[("useless", "demand-prefetch-equal")] == 525
+    print(result.to_table())

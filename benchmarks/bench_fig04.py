@@ -1,0 +1,25 @@
+"""Figure 4: milc's prefetch behaviour (service times and phases).
+
+Paper shape: (a) useless prefetches dominate the long-service-time tail;
+(b) accuracy shows strong phase behaviour with near-zero stretches.
+"""
+
+from conftest import run_once
+
+
+def test_fig04a_service_time_histogram(benchmark, scale):
+    result = run_once(benchmark, "fig04a", scale)
+    useful = sum(row["useful"] for row in result.rows)
+    useless = sum(row["useless"] for row in result.rows)
+    assert useful + useless > 0
+    assert useless > 0  # milc generates useless prefetches
+    print(result.to_table())
+
+
+def test_fig04b_accuracy_phases(benchmark, scale):
+    result = run_once(benchmark, "fig04b", scale)
+    accuracies = [row["accuracy"] for row in result.rows]
+    assert len(accuracies) >= 2
+    # Phase behaviour: the accuracy swings over the run.
+    assert max(accuracies) - min(accuracies) > 0.2
+    print(result.to_table())

@@ -1,0 +1,21 @@
+"""Figure 6: single-core normalized IPC across the five policies.
+
+Paper shape: APS tracks the best rigid policy per benchmark; adding APD
+(full PADC) is at least as good on the geometric mean.
+"""
+
+from conftest import run_once
+
+
+def test_fig06(benchmark, scale):
+    result = run_once(benchmark, "fig06", scale)
+    gmean = result.rows[-1]
+    assert gmean["benchmark"].startswith("gmean")
+    # PADC within noise of the best rigid policy on the geometric mean,
+    # and strictly above the worse rigid policy.
+    best_rigid = max(gmean["demand-first"], gmean["demand-prefetch-equal"])
+    worst_rigid = min(gmean["demand-first"], gmean["demand-prefetch-equal"])
+    assert gmean["padc"] > worst_rigid
+    assert gmean["padc"] > 0.93 * best_rigid
+    assert gmean["padc"] >= gmean["aps"] * 0.99
+    print(result.to_table())

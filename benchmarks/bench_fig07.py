@@ -1,0 +1,17 @@
+"""Figure 7: single-core stall-time per load (SPL).
+
+Paper shape: prefetching with any policy reduces SPL vs no-pref for the
+benchmark population on average, and PADC does not inflate it.
+"""
+
+from conftest import run_once
+
+
+def test_fig07(benchmark, scale):
+    result = run_once(benchmark, "fig07", scale)
+    amean = result.rows[-1]
+    assert amean["benchmark"] == "amean"
+    assert amean["demand-first"] < amean["no-pref"]
+    assert amean["padc"] < amean["no-pref"]
+    assert amean["padc"] <= amean["demand-prefetch-equal"] * 1.10
+    print(result.to_table())

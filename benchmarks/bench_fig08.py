@@ -1,0 +1,22 @@
+"""Figure 8: single-core bus-traffic breakdown.
+
+Paper shape: PADC's total traffic is below demand-prefetch-equal's (it
+drops useless prefetches) and its useless-prefetch share shrinks.
+"""
+
+from collections import defaultdict
+
+from conftest import run_once
+
+
+def test_fig08(benchmark, scale):
+    result = run_once(benchmark, "fig08", scale)
+    totals = defaultdict(int)
+    useless = defaultdict(int)
+    for row in result.rows:
+        totals[row["policy"]] += row["total"]
+        useless[row["policy"]] += row["pref_useless"]
+    assert totals["no-pref"] < totals["demand-first"]
+    assert totals["padc"] <= totals["demand-prefetch-equal"]
+    assert useless["padc"] <= useless["demand-prefetch-equal"]
+    print(result.to_table())

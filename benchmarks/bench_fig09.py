@@ -1,0 +1,16 @@
+"""Figure 9: 2-core overall performance and traffic.
+
+Paper shape: prefetching helps (demand-first > no-pref), and PADC is the
+most bandwidth-efficient prefetching policy.
+"""
+
+from conftest import run_once
+
+
+def test_fig09(benchmark, scale):
+    result = run_once(benchmark, "fig09", scale)
+    rows = {row["policy"]: row for row in result.rows}
+    assert rows["demand-first"]["ws"] > rows["no-pref"]["ws"]
+    assert rows["padc"]["ws"] > rows["no-pref"]["ws"]
+    assert rows["padc"]["traffic"] <= rows["demand-prefetch-equal"]["traffic"]
+    print(result.to_table())

@@ -1,0 +1,17 @@
+"""Case study I (Figures 10-11): four prefetch-friendly applications.
+
+Paper shape: prefetching helps every app under every policy, and PADC's
+drop count is small (few useless prefetches to remove).
+"""
+
+from conftest import run_once
+
+
+def test_fig10_11(benchmark, scale):
+    result = run_once(benchmark, "fig10_11", scale)
+    rows = {row["policy"]: row for row in result.rows}
+    assert rows["demand-first"]["ws"] > rows["no-pref"]["ws"]
+    assert rows["padc"]["ws"] > rows["no-pref"]["ws"]
+    # Friendly mix: useless traffic is a small share of the total.
+    assert rows["padc"]["useless"] < 0.2 * rows["padc"]["traffic"]
+    print(result.to_table())

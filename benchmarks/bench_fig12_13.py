@@ -1,0 +1,21 @@
+"""Case study II (Figures 12-13): four prefetch-unfriendly applications.
+
+Paper shape: demand-prefetch-equal is a disaster; demand-first and PADC
+stay near the no-prefetching level; APD removes a large number of useless
+prefetches.
+"""
+
+from conftest import run_once
+
+
+def test_fig12_13(benchmark, scale):
+    result = run_once(benchmark, "fig12_13", scale)
+    rows = {row["policy"]: row for row in result.rows}
+    assert rows["demand-first"]["ws"] > rows["demand-prefetch-equal"]["ws"]
+    assert rows["padc"]["ws"] > rows["demand-prefetch-equal"]["ws"]
+    assert rows["padc"]["ws"] > 0.92 * rows["no-pref"]["ws"]
+    assert rows["padc"]["dropped"] > 0
+    # Dropping removes junk but also frees MSHRs for new prefetch issue,
+    # so serviced-useless can land a hair above APS; bound it loosely.
+    assert rows["padc"]["useless"] <= rows["aps"]["useless"] * 1.08
+    print(result.to_table())

@@ -1,0 +1,16 @@
+"""Case study III (Figures 14-15): mixed friendly/unfriendly workload.
+
+Paper shape: APD eliminates a large share of omnetpp/galgel's useless
+prefetches, cutting total traffic versus the rigid policies.
+"""
+
+from conftest import run_once
+
+
+def test_fig14_15(benchmark, scale):
+    result = run_once(benchmark, "fig14_15", scale)
+    rows = {row["policy"]: row for row in result.rows}
+    assert rows["padc"]["dropped"] > 0
+    assert rows["padc"]["traffic"] < rows["demand-prefetch-equal"]["traffic"]
+    assert rows["padc"]["ws"] > rows["demand-prefetch-equal"]["ws"]
+    print(result.to_table())

@@ -1,0 +1,21 @@
+"""Figure 16: 4-core overall performance and traffic.
+
+Paper shape: demand-first is the best rigid policy at 4 cores; PADC beats
+demand-prefetch-equal clearly and cuts traffic relative to it.  (In this
+reproduction PADC lands within a few percent of demand-first rather than
+above it — see EXPERIMENTS.md for the analysis.)
+"""
+
+from conftest import run_once
+
+
+def test_fig16(benchmark, scale):
+    result = run_once(benchmark, "fig16", scale)
+    rows = {row["policy"]: row for row in result.rows}
+    assert rows["demand-first"]["ws"] > rows["no-pref"]["ws"]
+    assert rows["demand-first"]["ws"] > rows["demand-prefetch-equal"]["ws"]
+    assert rows["padc"]["ws"] > rows["demand-prefetch-equal"]["ws"]
+    assert rows["padc"]["ws"] >= rows["aps"]["ws"] * 0.99
+    assert rows["padc"]["ws"] >= rows["demand-first"]["ws"] * 0.90
+    assert rows["padc"]["traffic"] <= rows["demand-prefetch-equal"]["traffic"]
+    print(result.to_table())

@@ -1,0 +1,16 @@
+"""Figure 17: 8-core overall performance and traffic.
+
+Paper shape: DRAM bandwidth is scarcer at 8 cores, so rigid
+demand-prefetch-equal degrades hard and PADC's dropping matters more.
+"""
+
+from conftest import run_once
+
+
+def test_fig17(benchmark, scale):
+    result = run_once(benchmark, "fig17", scale)
+    rows = {row["policy"]: row for row in result.rows}
+    assert rows["padc"]["ws"] > rows["demand-prefetch-equal"]["ws"]
+    assert rows["padc"]["traffic"] <= rows["demand-prefetch-equal"]["traffic"]
+    assert rows["padc"]["ws"] >= rows["aps"]["ws"] * 0.99
+    print(result.to_table())

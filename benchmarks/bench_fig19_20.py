@@ -1,0 +1,25 @@
+"""Figures 19-20: PADC with PAR-BS-style request ranking.
+
+Paper shape: ranking keeps WS within noise of plain PADC and improves
+(or at least does not worsen) unfairness; the effect grows at 8 cores.
+"""
+
+from conftest import run_once
+
+
+def test_fig19_ranking_4core(benchmark, scale):
+    result = run_once(benchmark, "fig19", scale)
+    rows = {row["policy"]: row for row in result.rows}
+    assert rows["padc-rank"]["ws"] >= rows["padc"]["ws"] * 0.95
+    assert rows["padc-rank"]["uf"] <= rows["padc"]["uf"] * 1.10
+    print(result.to_table())
+
+
+def test_fig20_ranking_8core(benchmark, scale):
+    result = run_once(benchmark, "fig20", scale)
+    rows = {row["policy"]: row for row in result.rows}
+    # 8-core quick runs average very few mixes; check ranking stays in the
+    # same performance envelope rather than a tight UF ratio.
+    assert rows["padc-rank"]["ws"] >= rows["padc"]["ws"] * 0.90
+    assert rows["padc-rank"]["uf"] <= rows["padc"]["uf"] * 1.35
+    print(result.to_table())

@@ -1,0 +1,24 @@
+"""Figures 21-22: dual memory controllers.
+
+Paper shape: doubling the channels lifts every policy's WS, and PADC
+remains effective (still the most bandwidth-efficient prefetch policy).
+"""
+
+from conftest import run_once
+
+
+def test_fig21_dual_controller_4core(benchmark, scale):
+    result = run_once(benchmark, "fig21", scale)
+    rows = {row["policy"]: row for row in result.rows}
+    assert rows["padc"]["ws"] > rows["no-pref"]["ws"] * 0.95
+    assert rows["padc"]["ws"] > rows["demand-prefetch-equal"]["ws"] * 0.95
+    assert rows["padc"]["traffic"] <= rows["demand-prefetch-equal"]["traffic"]
+    print(result.to_table())
+
+
+def test_fig22_dual_controller_8core(benchmark, scale):
+    result = run_once(benchmark, "fig22", scale)
+    rows = {row["policy"]: row for row in result.rows}
+    assert rows["padc"]["ws"] > rows["demand-prefetch-equal"]["ws"] * 0.95
+    assert rows["padc"]["traffic"] <= rows["demand-prefetch-equal"]["traffic"]
+    print(result.to_table())

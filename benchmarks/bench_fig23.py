@@ -1,0 +1,15 @@
+"""Figure 23: DRAM row-buffer size sweep (2KB-128KB).
+
+Paper shape: PADC never loses to demand-prefetch-equal at any size, and
+larger row buffers do not erase the benefit of adaptivity.
+"""
+
+from conftest import run_once
+
+
+def test_fig23_row_buffer_sweep(benchmark, scale):
+    result = run_once(benchmark, "fig23", scale)
+    for row in result.rows:
+        assert row["padc"] >= row["demand-prefetch-equal"] * 0.95, row
+        assert row["padc"] > row["no-pref"] * 0.90, row
+    print(result.to_table())

@@ -1,0 +1,24 @@
+"""Figure 25: L2 cache size sweep (per core).
+
+Paper shape: every policy improves with cache size; PADC stays at least
+competitive with the best rigid policy at every size.
+"""
+
+from conftest import run_once
+
+
+def test_fig25_cache_sweep(benchmark, scale):
+    result = run_once(benchmark, "fig25", scale)
+    sizes = [row["cache_kb_per_core"] for row in result.rows]
+    assert sizes == sorted(sizes)
+    for row in result.rows:
+        assert row["padc"] >= row["demand-prefetch-equal"] * 0.85, row
+        assert row["padc"] >= row["no-pref"] * 0.95, row
+    # The equal policy closes on demand-first as the cache grows (larger
+    # caches tolerate pollution, paper §6.9); WS itself stays flat here
+    # because IS normalizes against same-cache alone runs (EXPERIMENTS.md).
+    first, last = result.rows[0], result.rows[-1]
+    first_ratio = first["demand-prefetch-equal"] / first["demand-first"]
+    last_ratio = last["demand-prefetch-equal"] / last["demand-first"]
+    assert last_ratio >= first_ratio - 0.02
+    print(result.to_table())

@@ -1,0 +1,23 @@
+"""Figures 26-27: shared last-level cache.
+
+Paper shape: demand-prefetch-equal suffers most under a shared cache
+(cross-core pollution); PADC stays ahead of it and saves bandwidth.
+"""
+
+from conftest import run_once
+
+
+def test_fig26_shared_cache_4core(benchmark, scale):
+    result = run_once(benchmark, "fig26", scale)
+    rows = {row["policy"]: row for row in result.rows}
+    assert rows["padc"]["ws"] > rows["demand-prefetch-equal"]["ws"] * 0.97
+    assert rows["padc"]["traffic"] <= rows["demand-prefetch-equal"]["traffic"]
+    print(result.to_table())
+
+
+def test_fig27_shared_cache_8core(benchmark, scale):
+    result = run_once(benchmark, "fig27", scale)
+    rows = {row["policy"]: row for row in result.rows}
+    assert rows["padc"]["ws"] > rows["demand-prefetch-equal"]["ws"] * 0.97
+    assert rows["padc"]["traffic"] <= rows["demand-prefetch-equal"]["traffic"]
+    print(result.to_table())

@@ -1,0 +1,23 @@
+"""Figure 28: PADC under stride, C/DC and Markov prefetchers.
+
+Paper shape: PADC improves on demand-prefetch-equal with every
+prefetcher; the Markov prefetcher benefits least from prefetching.
+"""
+
+from conftest import run_once
+
+
+def test_fig28_other_prefetchers(benchmark, scale):
+    result = run_once(benchmark, "fig28", scale)
+    by_prefetcher = {}
+    for row in result.rows:
+        by_prefetcher.setdefault(row["prefetcher"], {})[row["policy"]] = row
+    for prefetcher, rows in by_prefetcher.items():
+        assert rows["padc"]["ws"] >= rows["demand-prefetch-equal"]["ws"] * 0.95, prefetcher
+    # Markov is the least effective prefetcher (lowest gain over no-pref).
+    gain = {
+        prefetcher: rows["padc"]["ws"] / rows["no-pref"]["ws"]
+        for prefetcher, rows in by_prefetcher.items()
+    }
+    assert gain["markov"] <= min(gain["stride"], gain["cdc"]) + 0.05
+    print(result.to_table())

@@ -1,0 +1,28 @@
+"""Figures 29-30: DDPF and FDP prefetch filters vs/with PADC.
+
+Paper shape: the filters reduce traffic; APD preserves performance at
+least as well as the filters when layered on the same scheduler.
+"""
+
+from conftest import run_once
+
+
+def test_fig29_filters_with_demand_first_and_aps(benchmark, scale):
+    result = run_once(benchmark, "fig29", scale)
+    rows = {row["variant"]: row for row in result.rows}
+    base = rows["demand-first"]
+    # FDP throttling cuts traffic relative to the unfiltered baseline.
+    assert rows["demand-first-fdp"]["traffic"] <= base["traffic"] * 1.02
+    # APD on demand-first keeps performance within noise of the baseline.
+    assert rows["demand-first-apd"]["ws"] >= base["ws"] * 0.95
+    assert rows["aps-apd (PADC)"]["ws"] >= rows["aps-ddpf"]["ws"] * 0.95
+    print(result.to_table())
+
+
+def test_fig30_filters_with_equal(benchmark, scale):
+    result = run_once(benchmark, "fig30", scale)
+    rows = {row["variant"]: row for row in result.rows}
+    equal = rows["demand-pref-equal"]
+    assert rows["demand-pref-equal-fdp"]["traffic"] <= equal["traffic"] * 1.02
+    assert rows["aps-apd (PADC)"]["ws"] >= equal["ws"] * 0.98
+    print(result.to_table())

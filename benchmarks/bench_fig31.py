@@ -1,0 +1,18 @@
+"""Figure 31: permutation-based page interleaving.
+
+Paper shape: the remapping helps the baselines, and PADC composes with it
+(PADC-perm at least matches plain PADC and demand-first-perm stays below
+or near PADC-perm).
+"""
+
+from conftest import run_once
+
+
+def test_fig31_permutation(benchmark, scale):
+    result = run_once(benchmark, "fig31", scale)
+    rows = {row["variant"]: row for row in result.rows}
+    # Permutation does not hurt the no-pref baseline.
+    assert rows["no-pref-perm"]["ws"] >= rows["no-pref"]["ws"] * 0.95
+    # PADC composes with the remapping scheme.
+    assert rows["padc-perm"]["ws"] >= rows["padc"]["ws"] * 0.95
+    print(result.to_table())

@@ -1,0 +1,16 @@
+"""Figure 32: PADC on a runahead-execution processor.
+
+Paper shape: runahead lifts every configuration, and PADC remains
+effective on top of it.
+"""
+
+from conftest import run_once
+
+
+def test_fig32_runahead(benchmark, scale):
+    result = run_once(benchmark, "fig32", scale)
+    rows = {row["variant"]: row for row in result.rows}
+    assert rows["no-pref-ra"]["ws"] > rows["no-pref"]["ws"]
+    assert rows["padc-ra"]["ws"] > rows["padc"]["ws"]
+    assert rows["padc-ra"]["ws"] >= rows["aps-ra"]["ws"] * 0.97
+    print(result.to_table())

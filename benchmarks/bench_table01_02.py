@@ -1,0 +1,13 @@
+"""Tables 1-2: PADC hardware storage cost — exact paper numbers."""
+
+from conftest import run_once
+
+
+def test_table01_02_storage_cost(benchmark, scale):
+    result = run_once(benchmark, "table01_02", scale)
+    four_core = next(row for row in result.rows if row["cores"] == 4)
+    assert four_core["total_bits"] == 34_720
+    assert abs(four_core["total_KB"] - 4.25) < 0.02
+    assert four_core["no_P_bits"] == 1_824
+    assert four_core["frac_of_L2"] < 0.003
+    print(result.to_table())

@@ -1,0 +1,19 @@
+"""Table 5: benchmark characteristics with/without the stream prefetcher.
+
+Shape checks against the paper's per-class characteristics: libquantum's
+prefetches are near-perfect, the unfriendly group's accuracy is low.
+"""
+
+from conftest import run_once
+
+
+def test_table05(benchmark, scale):
+    result = run_once(benchmark, "table05", scale)
+    rows = {row["benchmark"]: row for row in result.rows}
+    assert rows["libquantum"]["acc"] > 0.9
+    assert rows["swim"]["acc"] > 0.85
+    for unfriendly in ("ammp", "omnetpp", "xalancbmk"):
+        assert rows[unfriendly]["acc"] < 0.35
+    # Memory-intensive benchmarks show higher MPKI than light ones.
+    assert rows["art"]["mpki_nopref"] > rows["ammp"]["mpki_nopref"]
+    print(result.to_table())

@@ -1,0 +1,21 @@
+"""Table 7: row-buffer hit rate over useful requests (RBHU).
+
+Paper shape: demand-prefetch-equal has the highest RBHU (it maximizes
+row-hit batching); APS/PADC stay close; demand-first trails.
+"""
+
+from conftest import run_once
+
+from repro.experiments.runner import average
+
+
+def test_table07(benchmark, scale):
+    result = run_once(benchmark, "table07", scale)
+    mean = {
+        policy: average(result.column(policy))
+        for policy in ("no-pref", "demand-first", "demand-prefetch-equal", "aps", "padc")
+    }
+    assert mean["demand-prefetch-equal"] >= mean["demand-first"]
+    assert mean["aps"] >= mean["demand-first"] * 0.97
+    assert mean["padc"] >= mean["demand-first"] * 0.95
+    print(result.to_table())

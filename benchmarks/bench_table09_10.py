@@ -1,0 +1,27 @@
+"""Tables 9-10: four identical applications on the 4-core system.
+
+Paper shape: with 4x libquantum (friendly), equal/APS/PADC treat all
+instances evenly and beat demand-first; with 4x milc (unfriendly), PADC
+drops junk and every instance speeds up evenly (UF stays near 1).
+"""
+
+from conftest import run_once
+
+
+def test_table09_identical_friendly(benchmark, scale):
+    result = run_once(benchmark, "table09", scale)
+    rows = {row["policy"]: row for row in result.rows}
+    # Even treatment: unfairness stays moderate for the adaptive policies
+    # (identical instances should progress at similar rates).
+    assert rows["padc"]["uf"] < 1.6
+    assert rows["padc"]["ws"] >= rows["demand-prefetch-equal"]["ws"] * 0.90
+    print(result.to_table())
+
+
+def test_table10_identical_unfriendly(benchmark, scale):
+    result = run_once(benchmark, "table10", scale)
+    rows = {row["policy"]: row for row in result.rows}
+    assert rows["demand-first"]["ws"] > rows["demand-prefetch-equal"]["ws"]
+    assert rows["padc"]["ws"] > rows["demand-prefetch-equal"]["ws"] * 0.97
+    assert rows["padc"]["uf"] < 1.6
+    print(result.to_table())

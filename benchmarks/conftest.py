@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``benchmarks/bench_*.py`` file regenerates one of the paper's tables
+or figures through :mod:`repro.experiments` and asserts the paper's
+qualitative *shape* (who wins, roughly by how much).  Absolute numbers are
+not expected to match — the substrate is a synthetic-trace simulator, not
+the authors' testbed (see DESIGN.md §2 and EXPERIMENTS.md).
+
+Benchmarks run at a reduced scale by default so the whole harness
+completes in minutes; set ``REPRO_SCALE=paper`` for the full sweep.
+"""
+
+import pytest
+
+from repro.experiments import Scale
+
+BENCH_SCALE = Scale(
+    accesses=4_000,
+    mixes_2core=3,
+    mixes_4core=3,
+    mixes_8core=2,
+    single_core_benches=15,
+)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    env_scale = Scale.from_env()
+    if env_scale != Scale():  # an explicit REPRO_SCALE wins
+        return env_scale
+    return BENCH_SCALE
+
+
+def run_once(benchmark, name, scale):
+    """Run one experiment exactly once under pytest-benchmark timing."""
+    from repro.experiments import run_experiment
+
+    return benchmark.pedantic(
+        run_experiment, args=(name, scale), rounds=1, iterations=1
+    )

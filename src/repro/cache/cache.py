@@ -1,0 +1,147 @@
+"""Set-associative L2 cache with LRU replacement and per-line P bits.
+
+Each :class:`CacheLine` records whether the line was brought in by a
+prefetch (the P bit, cleared on the first demand hit — paper §4.1), which
+core prefetched it, and whether its DRAM service was a row hit (used for
+the RBHU metric of §6.1.1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.params import CacheConfig
+
+
+class CacheLine:
+    """Metadata for one resident cache line."""
+
+    __slots__ = ("prefetched", "core_id", "row_hit_fill", "ever_used", "dirty")
+
+    def __init__(
+        self,
+        prefetched: bool,
+        core_id: int,
+        row_hit_fill: bool,
+        dirty: bool = False,
+    ):
+        self.prefetched = prefetched
+        self.core_id = core_id
+        self.row_hit_fill = row_hit_fill
+        self.ever_used = not prefetched
+        self.dirty = dirty
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of a demand lookup."""
+
+    hit: bool
+    first_use_of_prefetch: bool = False
+    prefetch_core: Optional[int] = None
+    prefetch_row_hit_fill: bool = False
+
+
+@dataclass(frozen=True)
+class EvictionInfo:
+    """Describes a line evicted by a fill (for filter training/writeback)."""
+
+    line_addr: int
+    prefetched_unused: bool
+    core_id: int
+    dirty: bool = False
+
+
+class L2Cache:
+    """LRU set-associative cache tracking prefetch usefulness per line."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.num_sets = config.num_sets
+        if self.num_sets < 1:
+            raise ValueError("cache too small for its associativity/line size")
+        self.assoc = config.associativity
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.demand_hits = 0
+        self.demand_misses = 0
+        self.useful_prefetch_hits = 0
+
+    def _set_for(self, line_addr: int) -> OrderedDict:
+        return self._sets[line_addr % self.num_sets]
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._set_for(line_addr)
+
+    def lookup(self, line_addr: int, is_write: bool = False) -> LookupResult:
+        """Demand lookup: updates LRU and clears the P bit on first use.
+
+        A write hit marks the line dirty; the dirty line generates a
+        writeback to DRAM when it is eventually evicted.
+        """
+        cache_set = self._set_for(line_addr)
+        line = cache_set.get(line_addr)
+        if line is None:
+            self.demand_misses += 1
+            return LookupResult(hit=False)
+        cache_set.move_to_end(line_addr)
+        self.demand_hits += 1
+        if is_write:
+            line.dirty = True
+        if line.prefetched and not line.ever_used:
+            line.ever_used = True
+            line.prefetched = False
+            self.useful_prefetch_hits += 1
+            return LookupResult(
+                hit=True,
+                first_use_of_prefetch=True,
+                prefetch_core=line.core_id,
+                prefetch_row_hit_fill=line.row_hit_fill,
+            )
+        return LookupResult(hit=True)
+
+    def touch_for_prefetcher(self, line_addr: int) -> bool:
+        """Presence probe that does not disturb LRU or the P bit."""
+        return line_addr in self._set_for(line_addr)
+
+    def fill(
+        self,
+        line_addr: int,
+        prefetched: bool,
+        core_id: int,
+        row_hit_fill: bool = False,
+        dirty: bool = False,
+    ) -> Optional[EvictionInfo]:
+        """Insert a line; returns eviction info when a victim is replaced."""
+        cache_set = self._set_for(line_addr)
+        if line_addr in cache_set:
+            # Already present (e.g. a redundant fill); refresh LRU only.
+            cache_set.move_to_end(line_addr)
+            if dirty:
+                cache_set[line_addr].dirty = True
+            return None
+        evicted = None
+        if len(cache_set) >= self.assoc:
+            victim_addr, victim = cache_set.popitem(last=False)
+            evicted = EvictionInfo(
+                line_addr=victim_addr,
+                prefetched_unused=victim.prefetched and not victim.ever_used,
+                core_id=victim.core_id,
+                dirty=victim.dirty,
+            )
+        cache_set[line_addr] = CacheLine(prefetched, core_id, row_hit_fill, dirty)
+        return evicted
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Remove a line if present (used by tests and failure injection)."""
+        cache_set = self._set_for(line_addr)
+        return cache_set.pop(line_addr, None) is not None
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def hit_rate(self) -> float:
+        total = self.demand_hits + self.demand_misses
+        return self.demand_hits / total if total else 0.0

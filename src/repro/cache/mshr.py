@@ -1,0 +1,76 @@
+"""Miss Status Holding Registers.
+
+The MSHR file tracks in-flight line fills.  It is where a demand request
+can *match* an in-flight prefetch: the prefetch is promoted (P bit reset,
+PUC incremented) and the demand simply waits for the existing fill —
+paper §4.1 item 1 and footnote 9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.controller.request import MemRequest
+
+
+class MSHREntry:
+    """One in-flight miss: the memory request plus waiting cores."""
+
+    __slots__ = (
+        "line_addr",
+        "request",
+        "waiters",
+        "was_prefetch",
+        "promoted_late",
+        "dirty_on_fill",
+    )
+
+    def __init__(self, line_addr: int, request: MemRequest):
+        self.line_addr = line_addr
+        self.request = request
+        self.waiters: List[int] = []
+        self.was_prefetch = request.is_prefetch
+        # True when a demand matched this prefetch while in flight — the
+        # prefetch was useful but *late* (used by FDP's lateness metric).
+        self.promoted_late = False
+        # A store merged into this miss: the line fills dirty
+        # (write-allocate) and writes back to DRAM on eviction.
+        self.dirty_on_fill = False
+
+
+class MSHR:
+    """A fixed-capacity file of in-flight misses, indexed by line address."""
+
+    def __init__(self, entries: int):
+        self.capacity = entries
+        self._entries: Dict[int, MSHREntry] = {}
+        self.allocation_failures = 0
+
+    def get(self, line_addr: int) -> Optional[MSHREntry]:
+        return self._entries.get(line_addr)
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._entries
+
+    def allocate(self, line_addr: int, request: MemRequest) -> Optional[MSHREntry]:
+        """Allocate an entry; returns None when the file is full."""
+        if len(self._entries) >= self.capacity:
+            self.allocation_failures += 1
+            return None
+        if line_addr in self._entries:
+            raise ValueError(f"duplicate MSHR allocation for line 0x{line_addr:x}")
+        entry = MSHREntry(line_addr, request)
+        self._entries[line_addr] = entry
+        return entry
+
+    def free(self, line_addr: int) -> Optional[MSHREntry]:
+        """Release the entry (on fill completion or prefetch drop)."""
+        return self._entries.pop(line_addr, None)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity

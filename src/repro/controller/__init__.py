@@ -1,0 +1,46 @@
+"""The Prefetch-Aware DRAM Controller and the rigid baselines.
+
+Components (paper §4, Figure 3):
+
+* :class:`~repro.controller.request.MemRequest` — one memory-request-buffer
+  entry carrying the C/RH/U/RANK/FCFS priority fields plus the P/ID/AGE
+  information used by APD (Figures 5 and 18).
+* :class:`~repro.controller.accuracy.PrefetchAccuracyTracker` — per-core
+  PSC/PUC counters and the PAR register, updated every interval (§4.1).
+* Scheduling policies in :mod:`~repro.controller.policies` and
+  :mod:`~repro.controller.aps` — FR-FCFS demand-first /
+  demand-prefetch-equal / prefetch-first, and Adaptive Prefetch Scheduling
+  with optional urgency and PAR-BS-style ranking (§4.2, §6.5).
+* :class:`~repro.controller.apd.AdaptivePrefetchDropper` — drops prefetches
+  older than a dynamic, accuracy-keyed threshold (§4.3, Table 6).
+* :class:`~repro.controller.engine.DRAMControllerEngine` — ties channels,
+  buffers, policy and dropper together.
+* :mod:`~repro.controller.cost` — the hardware storage-cost model of
+  Tables 1 and 2.
+"""
+
+from repro.controller.accuracy import PrefetchAccuracyTracker
+from repro.controller.apd import AdaptivePrefetchDropper
+from repro.controller.aps import AdaptivePrefetchScheduler
+from repro.controller.cost import padc_storage_cost
+from repro.controller.engine import DRAMControllerEngine
+from repro.controller.policies import (
+    DemandFirstPolicy,
+    DemandPrefetchEqualPolicy,
+    PrefetchFirstPolicy,
+    make_policy,
+)
+from repro.controller.request import MemRequest
+
+__all__ = [
+    "MemRequest",
+    "PrefetchAccuracyTracker",
+    "AdaptivePrefetchDropper",
+    "AdaptivePrefetchScheduler",
+    "DemandFirstPolicy",
+    "DemandPrefetchEqualPolicy",
+    "PrefetchFirstPolicy",
+    "make_policy",
+    "DRAMControllerEngine",
+    "padc_storage_cost",
+]

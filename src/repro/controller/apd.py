@@ -1,0 +1,47 @@
+"""Adaptive Prefetch Dropping (paper §4.3).
+
+APD removes a prefetch request from the memory request buffer once its age
+exceeds the per-core ``drop_threshold``, which the accuracy tracker adapts
+every interval using the 4-level table of Table 6 (low accuracy → drop
+fast, high accuracy → keep long).
+
+Dropping only applies to requests that still carry the P bit: a promoted
+prefetch has been matched by a demand and must be serviced.  The engine
+invalidates the corresponding MSHR entry via a callback so that a later
+demand to the dropped line simply misses again, mirroring the paper's
+"invalidate the MSHR entry before dropping" rule.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.controller.accuracy import PrefetchAccuracyTracker
+from repro.controller.request import MemRequest
+
+
+class AdaptivePrefetchDropper:
+    """Age-based dropping of likely-useless prefetch requests."""
+
+    def __init__(self, tracker: PrefetchAccuracyTracker, age_granularity: int = 100):
+        self.tracker = tracker
+        # The hardware AGE field ticks every ``age_granularity`` cycles, so
+        # ages are compared at that granularity (paper §4.4: "estimation of
+        # the age of a request does not need to be highly accurate").
+        self.age_granularity = age_granularity
+        self.dropped_per_core: List[int] = [0] * tracker.num_cores
+
+    def should_drop(self, request: MemRequest, now: int) -> bool:
+        if not request.is_prefetch:
+            return False
+        threshold = self.tracker.drop_threshold[request.core_id]
+        age_ticks = (now - request.arrival) // self.age_granularity
+        return age_ticks > threshold // self.age_granularity
+
+    def record_drop(self, request: MemRequest) -> None:
+        request.dropped = True
+        self.dropped_per_core[request.core_id] += 1
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.dropped_per_core)

@@ -1,0 +1,69 @@
+"""Adaptive Prefetch Scheduling (paper §4.2 Rule 1, §6.5 Rule 2).
+
+Priority order (highest first):
+
+1. **Critical** (C) — demands, and prefetches from cores whose measured
+   accuracy is at or above ``promotion_threshold``.
+2. **Row-hit** (RH).
+3. **Urgent** (U) — demands from cores with *low* prefetch accuracy, so
+   that they are not starved by the flood of critical requests coming from
+   accurate-prefetcher cores.
+4. **Rank** (optional, Rule 2) — PAR-BS-style shortest-job-first: critical
+   requests from the core with the fewest outstanding critical requests
+   win.  Non-critical requests all carry the lowest rank (0).
+5. **FCFS** — oldest first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.controller.accuracy import PrefetchAccuracyTracker
+from repro.controller.policies import SchedulingPolicy
+from repro.controller.request import MemRequest
+
+
+class AdaptivePrefetchScheduler(SchedulingPolicy):
+    """APS: accuracy-adaptive demand/prefetch prioritization."""
+
+    def __init__(
+        self,
+        tracker: PrefetchAccuracyTracker,
+        use_urgency: bool = True,
+        use_ranking: bool = False,
+    ):
+        self.tracker = tracker
+        self.use_urgency = use_urgency
+        self.use_ranking = use_ranking
+        self._rank: List[int] = [0] * tracker.num_cores
+        self.name = "aps" + ("-rank" if use_ranking else "")
+
+    def begin_tick(self, queues, now: int) -> None:
+        """Recompute per-core ranks from outstanding critical requests.
+
+        Called once per scheduling round.  A core with fewer outstanding
+        critical requests gets a higher rank value (shortest job first).
+        """
+        if not self.use_ranking:
+            return
+        critical = self.tracker.prefetch_critical
+        counts = [0] * self.tracker.num_cores
+        for queue in queues:
+            for request in queue:
+                if not request.is_prefetch or critical[request.core_id]:
+                    counts[request.core_id] += 1
+        self._rank = [-count for count in counts]
+
+    def priority(self, request: MemRequest, row_hit: bool) -> Tuple:
+        core = request.core_id
+        is_prefetch = request.is_prefetch
+        critical = (not is_prefetch) or self.tracker.prefetch_critical[core]
+        urgent = (
+            self.use_urgency
+            and not is_prefetch
+            and not self.tracker.prefetch_critical[core]
+        )
+        if self.use_ranking:
+            rank = self._rank[core] if critical else 0
+            return (critical, row_hit, urgent, rank, -request.arrival)
+        return (critical, row_hit, urgent, -request.arrival)

@@ -1,0 +1,252 @@
+"""DRAM controller engine: request buffers + channels + a scheduling policy.
+
+The engine owns one request buffer per channel (organized as per-bank
+queues plus a line-address index for demand matching) and performs the
+scheduling rounds:
+
+* a *tick* considers every bank that is free at the current cycle, lets the
+  policy pick the best request per bank, and services the winners in
+  global priority order (so the shared data bus is granted by priority);
+* Adaptive Prefetch Dropping, when enabled, removes over-age prefetches
+  during the same queue scan, invalidating their MSHR entries through the
+  ``on_drop`` callback (paper §4.3–4.4);
+* demand requests that find the buffer full wait in an overflow FIFO
+  (modelling the back-pressure the paper describes in §6.1); prefetches
+  that find it full are simply not sent — which is exactly the coverage
+  loss the paper attributes to full request buffers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.controller.apd import AdaptivePrefetchDropper
+from repro.controller.policies import SchedulingPolicy
+from repro.controller.request import MemRequest
+from repro.dram.address import AddressMapping
+from repro.dram.bank import RowBufferState
+from repro.dram.channel import Channel
+from repro.params import DRAMConfig
+
+
+class ControllerStats:
+    """Aggregate counters kept by the engine."""
+
+    __slots__ = (
+        "scheduled_demands",
+        "scheduled_prefetches",
+        "demand_row_hits",
+        "prefetch_row_hits",
+        "dropped_prefetches",
+        "prefetches_rejected_full",
+        "demand_overflows",
+    )
+
+    def __init__(self):
+        self.scheduled_demands = 0
+        self.scheduled_prefetches = 0
+        self.demand_row_hits = 0
+        self.prefetch_row_hits = 0
+        self.dropped_prefetches = 0
+        self.prefetches_rejected_full = 0
+        self.demand_overflows = 0
+
+
+class DRAMControllerEngine:
+    """Schedules memory requests onto DRAM channels."""
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        policy: SchedulingPolicy,
+        dropper: Optional[AdaptivePrefetchDropper] = None,
+        on_drop: Optional[Callable[[MemRequest], None]] = None,
+    ):
+        self.config = config
+        self.policy = policy
+        self.dropper = dropper
+        self.on_drop = on_drop
+        self.mapping = AddressMapping(config)
+        self.channels: List[Channel] = [
+            Channel(config, channel_id) for channel_id in range(config.num_channels)
+        ]
+        banks = config.banks_per_channel
+        self._queues: List[List[List[MemRequest]]] = [
+            [[] for _ in range(banks)] for _ in range(config.num_channels)
+        ]
+        self._index: List[Dict[int, MemRequest]] = [
+            {} for _ in range(config.num_channels)
+        ]
+        self._occupancy: List[int] = [0] * config.num_channels
+        self._overflow: List[deque] = [deque() for _ in range(config.num_channels)]
+        self.stats = ControllerStats()
+
+    # -- admission ---------------------------------------------------------
+
+    def build_request(
+        self,
+        line_addr: int,
+        core_id: int,
+        is_prefetch: bool,
+        now: int,
+        is_write: bool = False,
+        is_runahead: bool = False,
+    ) -> MemRequest:
+        """Decode the address and construct a request (not yet enqueued)."""
+        decoded = self.mapping.decode(line_addr)
+        return MemRequest(
+            line_addr=line_addr,
+            core_id=core_id,
+            is_prefetch=is_prefetch,
+            arrival=now,
+            channel=decoded.channel,
+            bank=decoded.bank,
+            row=decoded.row,
+            is_write=is_write,
+            is_runahead=is_runahead,
+        )
+
+    def enqueue_prefetch(self, request: MemRequest) -> bool:
+        """Admit a prefetch; returns False (not sent) if the buffer is full."""
+        channel = request.channel
+        if self._occupancy[channel] >= self.config.request_buffer_size:
+            self.stats.prefetches_rejected_full += 1
+            return False
+        self._admit(request)
+        return True
+
+    def enqueue_demand(self, request: MemRequest) -> None:
+        """Admit a demand; overflows wait in FIFO order for a free entry."""
+        channel = request.channel
+        if self._occupancy[channel] >= self.config.request_buffer_size:
+            self.stats.demand_overflows += 1
+            self._overflow[channel].append(request)
+        else:
+            self._admit(request)
+
+    def _admit(self, request: MemRequest) -> None:
+        self._queues[request.channel][request.bank].append(request)
+        self._index[request.channel][request.line_addr] = request
+        self._occupancy[request.channel] += 1
+
+    def _remove(self, request: MemRequest) -> None:
+        self._index[request.channel].pop(request.line_addr, None)
+        self._occupancy[request.channel] -= 1
+        self._drain_overflow(request.channel)
+
+    # -- demand matching -----------------------------------------------------
+
+    def find_queued(self, line_addr: int, channel: int) -> Optional[MemRequest]:
+        """Look up an in-buffer request by line address (for promotion)."""
+        return self._index[channel].get(line_addr)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def tick(self, channel_id: int, now: int) -> Tuple[List[MemRequest], Optional[int]]:
+        """Run one scheduling round on ``channel_id`` at cycle ``now``.
+
+        Returns the list of requests serviced this round (each with
+        ``completion`` and ``row_hit_service`` filled in) and the next
+        cycle at which this channel should be ticked again, or ``None`` if
+        it is idle until the next arrival.
+        """
+        channel = self.channels[channel_id]
+        queues = self._queues[channel_id]
+        self.policy.begin_tick(queues, now)
+        winners: List[Tuple[Tuple, int, MemRequest]] = []
+        for bank_idx, queue in enumerate(queues):
+            if not queue:
+                continue
+            bank = channel.banks[bank_idx]
+            if bank.busy_until > now:
+                continue
+            open_row = bank.open_row
+            best = None
+            best_key = None
+            write_index = 0
+            for request in queue:
+                if self.dropper is not None and self.dropper.should_drop(request, now):
+                    self._drop(request)
+                    continue
+                queue[write_index] = request
+                write_index += 1
+                key = self.policy.priority(request, request.row == open_row)
+                if best_key is None or key > best_key:
+                    best, best_key = request, key
+            del queue[write_index:]
+            if best is not None:
+                winners.append((best_key, bank_idx, best))
+        self._drain_overflow(channel_id)
+        winners.sort(key=lambda item: item[0], reverse=True)
+
+        serviced: List[MemRequest] = []
+        for _key, bank_idx, request in winners:
+            state, completion = channel.service(bank_idx, request.row, now)
+            queues[bank_idx].remove(request)
+            self._remove(request)
+            request.service_start = now
+            request.completion = completion
+            request.row_hit_service = state is RowBufferState.HIT
+            self._record_service(request, state)
+            if not self.config.open_row_policy:
+                self._maybe_precharge(channel_id, bank_idx, request.row)
+            serviced.append(request)
+
+        next_wake = self._next_wake(channel_id)
+        return serviced, next_wake
+
+    def _drop(self, request: MemRequest) -> None:
+        # Overflow draining is deferred to the end of the scan: admitting a
+        # waiting demand here could append to the bank queue being iterated.
+        self._index[request.channel].pop(request.line_addr, None)
+        self._occupancy[request.channel] -= 1
+        self.dropper.record_drop(request)
+        self.stats.dropped_prefetches += 1
+        if self.on_drop is not None:
+            self.on_drop(request)
+
+    def _drain_overflow(self, channel_id: int) -> None:
+        overflow = self._overflow[channel_id]
+        while overflow and self._occupancy[channel_id] < self.config.request_buffer_size:
+            self._admit(overflow.popleft())
+
+    def _maybe_precharge(self, channel_id: int, bank_idx: int, row: int) -> None:
+        """Closed-row policy: precharge when no queued row-hit remains."""
+        for request in self._queues[channel_id][bank_idx]:
+            if request.row == row:
+                return
+        self.channels[channel_id].banks[bank_idx].precharge()
+
+    def _record_service(self, request: MemRequest, state: RowBufferState) -> None:
+        row_hit = state is RowBufferState.HIT
+        if request.is_prefetch:
+            self.stats.scheduled_prefetches += 1
+            if row_hit:
+                self.stats.prefetch_row_hits += 1
+        else:
+            self.stats.scheduled_demands += 1
+            if row_hit:
+                self.stats.demand_row_hits += 1
+
+    def _next_wake(self, channel_id: int) -> Optional[int]:
+        channel = self.channels[channel_id]
+        times = [
+            channel.banks[bank_idx].busy_until
+            for bank_idx, queue in enumerate(self._queues[channel_id])
+            if queue
+        ]
+        if not times:
+            return None
+        return min(times)
+
+    # -- introspection -------------------------------------------------------
+
+    def occupancy(self, channel_id: int) -> int:
+        return self._occupancy[channel_id]
+
+    def queued_requests(self, channel_id: int) -> List[MemRequest]:
+        return [request for queue in self._queues[channel_id] for request in queue]
+
+    def total_lines_transferred(self) -> int:
+        return sum(channel.lines_transferred for channel in self.channels)

@@ -1,0 +1,97 @@
+"""Rigid DRAM scheduling policies (paper §1, §3).
+
+All policies are variants of FR-FCFS [27].  A policy turns a request into a
+priority tuple; the engine services the highest tuple among requests whose
+bank is free.  Tuples compare element-wise, larger wins, and every tuple
+ends with ``-arrival`` so that ties fall back to oldest-first (FCFS).
+
+* ``demand-first`` — demands over prefetches, then row-hit, then FCFS.
+  This is the paper's baseline.
+* ``demand-prefetch-equal`` — pure FR-FCFS: row-hit first, then FCFS,
+  ignoring the P bit.
+* ``prefetch-first`` — prefetches over demands (the worst-performing rigid
+  policy, footnote 2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.controller.accuracy import PrefetchAccuracyTracker
+from repro.controller.request import MemRequest
+
+
+class SchedulingPolicy:
+    """Base class: maps a request to a comparable priority tuple."""
+
+    name = "abstract"
+
+    def begin_tick(self, queues, now: int) -> None:
+        """Hook called once per scheduling round (used by ranking)."""
+
+    def priority(self, request: MemRequest, row_hit: bool) -> Tuple:
+        raise NotImplementedError
+
+
+class DemandFirstPolicy(SchedulingPolicy):
+    """Prioritize demands over prefetches, then row-hits, then oldest."""
+
+    name = "demand-first"
+
+    def priority(self, request: MemRequest, row_hit: bool) -> Tuple:
+        return (not request.is_prefetch, row_hit, -request.arrival)
+
+
+class DemandPrefetchEqualPolicy(SchedulingPolicy):
+    """Pure FR-FCFS: row-hits first, then oldest, P bit ignored."""
+
+    name = "demand-prefetch-equal"
+
+    def priority(self, request: MemRequest, row_hit: bool) -> Tuple:
+        return (row_hit, -request.arrival)
+
+
+class PrefetchFirstPolicy(SchedulingPolicy):
+    """Prioritize prefetches over demands (for completeness, footnote 2)."""
+
+    name = "prefetch-first"
+
+    def priority(self, request: MemRequest, row_hit: bool) -> Tuple:
+        return (request.is_prefetch, row_hit, -request.arrival)
+
+
+def make_policy(
+    name: str,
+    tracker: Optional[PrefetchAccuracyTracker] = None,
+    use_urgency: bool = True,
+    use_ranking: bool = False,
+    num_cores: int = 1,
+) -> SchedulingPolicy:
+    """Instantiate a scheduling policy by name.
+
+    ``"aps"`` and ``"padc"`` both use Adaptive Prefetch Scheduling and
+    require an accuracy ``tracker`` (APD is layered on separately by the
+    engine for ``"padc"``).  ``"demand-first-apd"`` schedules demand-first
+    but still runs the dropper (used by the §6.12 comparison).
+    ``"no-pref"`` shares demand-first because with the prefetcher disabled
+    every FR-FCFS variant behaves identically.
+    """
+    from repro.controller.aps import AdaptivePrefetchScheduler
+
+    if name in ("demand-first", "no-pref", "demand-first-apd"):
+        return DemandFirstPolicy()
+    if name == "demand-prefetch-equal":
+        return DemandPrefetchEqualPolicy()
+    if name == "prefetch-first":
+        return PrefetchFirstPolicy()
+    if name == "parbs":
+        from repro.controller.batch import BatchScheduler
+
+        return BatchScheduler(num_cores)
+    if name in ("aps", "padc"):
+        if tracker is None:
+            raise ValueError(f"policy {name!r} requires an accuracy tracker")
+        return AdaptivePrefetchScheduler(
+            tracker, use_urgency=use_urgency, use_ranking=use_ranking
+        )
+    raise ValueError(f"unknown scheduling policy: {name!r}")

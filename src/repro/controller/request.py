@@ -1,0 +1,86 @@
+"""Memory-request-buffer entries.
+
+Each request carries the fields of the paper's Figure 5/18:
+
+* ``is_prefetch`` — the P bit.  It is cleared ("promoted") when a demand
+  request matches the prefetch while it is still in flight; a promoted
+  request schedules as a demand and counts as a *useful* prefetch.
+* ``core_id`` — the ID field.
+* ``arrival`` — the FCFS timestamp; ``age(now)`` derives the AGE field.
+* criticality (C), row-hit (RH), urgency (U) and RANK are computed at
+  scheduling time from the bank state and the per-core accuracy registers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class MemRequest:
+    """One entry of the DRAM controller's memory request buffer."""
+
+    __slots__ = (
+        "line_addr",
+        "core_id",
+        "is_prefetch",
+        "is_write",
+        "arrival",
+        "channel",
+        "bank",
+        "row",
+        "promoted",
+        "is_runahead",
+        "row_hit_service",
+        "service_start",
+        "completion",
+        "dropped",
+    )
+
+    def __init__(
+        self,
+        line_addr: int,
+        core_id: int,
+        is_prefetch: bool,
+        arrival: int,
+        channel: int,
+        bank: int,
+        row: int,
+        is_write: bool = False,
+        is_runahead: bool = False,
+    ):
+        self.line_addr = line_addr
+        self.core_id = core_id
+        self.is_prefetch = is_prefetch
+        self.is_write = is_write
+        self.arrival = arrival
+        self.channel = channel
+        self.bank = bank
+        self.row = row
+        self.promoted = False
+        self.is_runahead = is_runahead
+        self.row_hit_service: Optional[bool] = None
+        self.service_start: Optional[int] = None
+        self.completion: Optional[int] = None
+        self.dropped = False
+
+    def age(self, now: int) -> int:
+        """Cycles this request has been outstanding (the AGE field)."""
+        return now - self.arrival
+
+    def promote(self) -> None:
+        """A demand matched this in-flight prefetch: clear the P bit.
+
+        The request is scheduled as a demand from now on, but it still
+        counts as a (useful) prefetch for accuracy accounting, per the
+        paper's footnote 9.
+        """
+        if self.is_prefetch:
+            self.is_prefetch = False
+            self.promoted = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "P" if self.is_prefetch else ("D*" if self.promoted else "D")
+        return (
+            f"MemRequest({kind} line=0x{self.line_addr:x} core={self.core_id} "
+            f"ch={self.channel} bank={self.bank} row={self.row} t={self.arrival})"
+        )

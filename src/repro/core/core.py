@@ -1,0 +1,121 @@
+"""Per-core simulation state.
+
+``CoreState`` tracks trace consumption, outstanding demand misses and the
+ROB-occupancy stall condition.  The event mechanics (what happens on an
+access or a fill) live in :mod:`repro.sim.system`; this class holds the
+bookkeeping and the model-level predicates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, Optional
+
+from repro.core.trace import TraceEntry
+from repro.params import CoreConfig
+
+
+class CoreState:
+    """Bookkeeping for one processing core."""
+
+    __slots__ = (
+        "core_id",
+        "config",
+        "trace",
+        "lookahead",
+        "target_accesses",
+        "accesses_done",
+        "instructions_issued",
+        "outstanding_demand",
+        "stalled",
+        "stall_start",
+        "waiting_mshr",
+        "pending_entry",
+        "done",
+        "finish_time",
+        "stall_cycles",
+        "loads",
+        "l2_hits",
+        "l2_misses",
+        "runahead_issued",
+    )
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig,
+        trace: Iterator[TraceEntry],
+        target_accesses: int,
+    ):
+        self.core_id = core_id
+        self.config = config
+        self.trace = trace
+        self.lookahead: Deque[TraceEntry] = deque()
+        self.target_accesses = target_accesses
+        self.accesses_done = 0
+        self.instructions_issued = 0
+        # line_addr -> instructions_issued at the time the miss was sent.
+        self.outstanding_demand: Dict[int, int] = {}
+        self.stalled = False
+        self.stall_start = 0
+        self.waiting_mshr = False
+        self.pending_entry: Optional[TraceEntry] = None
+        self.done = False
+        self.finish_time = 0
+        self.stall_cycles = 0
+        self.loads = 0
+        self.l2_hits = 0
+        self.l2_misses = 0
+        self.runahead_issued = 0
+
+    # -- trace consumption --------------------------------------------------
+
+    def next_entry(self) -> Optional[TraceEntry]:
+        """Consume the next trace entry (from the lookahead buffer first)."""
+        if self.lookahead:
+            return self.lookahead.popleft()
+        return next(self.trace, None)
+
+    def peek_ahead(self, depth: int) -> Deque[TraceEntry]:
+        """Expose up to ``depth`` future entries without consuming them.
+
+        Used by runahead execution: the entries remain in the lookahead
+        buffer and will be re-executed when the core resumes, just as a
+        runahead processor re-executes instructions after rollback.
+        """
+        while len(self.lookahead) < depth:
+            entry = next(self.trace, None)
+            if entry is None:
+                break
+            self.lookahead.append(entry)
+        return self.lookahead
+
+    # -- stall model ----------------------------------------------------------
+
+    def rob_blocked(self) -> bool:
+        """True when the ROB is full behind the oldest outstanding miss."""
+        if not self.outstanding_demand:
+            return False
+        oldest = min(self.outstanding_demand.values())
+        return self.instructions_issued - oldest >= self.config.rob_size
+
+    def exec_cycles(self, gap: int) -> int:
+        """Cycles needed to issue ``gap`` instructions at full width."""
+        width = self.config.retire_width
+        return (gap + width - 1) // width
+
+    # -- results ----------------------------------------------------------------
+
+    @property
+    def instructions_retired(self) -> int:
+        """Total instructions: inter-access gaps plus the loads themselves."""
+        return self.instructions_issued + self.accesses_done
+
+    def ipc(self) -> float:
+        if not self.finish_time:
+            return 0.0
+        return self.instructions_retired / self.finish_time
+
+    def spl(self) -> float:
+        """Stall cycles per load (the paper's SPL metric, §5.2)."""
+        return self.stall_cycles / self.loads if self.loads else 0.0

@@ -1,0 +1,35 @@
+"""Trace format consumed by the core model.
+
+A trace is an iterator of :class:`TraceEntry` — one entry per *L2 access*
+(the L1s are considered part of the workload): the number of instructions
+executed since the previous L2 access, the cache-line address touched and
+a synthetic PC identifying the access site (used by PC-indexed
+prefetchers and filters).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, NamedTuple
+
+
+class TraceEntry(NamedTuple):
+    """One L2 access in a core's instruction stream."""
+
+    gap: int
+    line_addr: int
+    pc: int
+    is_write: bool = False
+
+
+def trace_from_tuples(tuples: Iterable) -> Iterator[TraceEntry]:
+    """Adapt (gap, line_addr[, pc[, is_write]]) tuples to TraceEntries."""
+    for item in tuples:
+        if len(item) == 2:
+            gap, line_addr = item
+            yield TraceEntry(int(gap), int(line_addr), 0)
+        elif len(item) == 3:
+            gap, line_addr, pc = item
+            yield TraceEntry(int(gap), int(line_addr), int(pc))
+        else:
+            gap, line_addr, pc, is_write = item[:4]
+            yield TraceEntry(int(gap), int(line_addr), int(pc), bool(is_write))

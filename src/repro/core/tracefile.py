@@ -1,0 +1,61 @@
+"""Trace file I/O: persist and replay L2-access traces.
+
+Lets users capture a synthetic trace to disk, edit or generate their own
+(e.g. converted from a real Pin/DynamoRIO capture), and feed it back to
+the simulator.  The format is line-oriented, gzip-compressed text::
+
+    # repro-trace v1
+    <gap> <line_addr> <pc> [W]
+
+One record per L2 access; ``W`` marks stores.  Blank lines and ``#``
+comments are ignored.
+"""
+
+from __future__ import annotations
+
+import gzip
+import itertools
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.core.trace import TraceEntry
+
+_HEADER = "# repro-trace v1"
+
+
+def save_trace(
+    entries: Iterable[TraceEntry],
+    path: Union[str, Path],
+    limit: int = None,
+) -> int:
+    """Write ``entries`` (up to ``limit``) to ``path``; returns the count."""
+    if limit is not None:
+        entries = itertools.islice(entries, limit)
+    count = 0
+    with gzip.open(path, "wt") as handle:
+        handle.write(_HEADER + "\n")
+        for entry in entries:
+            record = f"{entry.gap} {entry.line_addr} {entry.pc}"
+            if entry.is_write:
+                record += " W"
+            handle.write(record + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: Union[str, Path]) -> Iterator[TraceEntry]:
+    """Lazily read a trace file written by :func:`save_trace`."""
+    with gzip.open(path, "rt") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) not in (3, 4):
+                raise ValueError(
+                    f"{path}:{line_number}: expected 'gap addr pc [W]', got {line!r}"
+                )
+            is_write = len(fields) == 4 and fields[3].upper() == "W"
+            yield TraceEntry(
+                int(fields[0]), int(fields[1]), int(fields[2]), is_write
+            )

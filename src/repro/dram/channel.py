@@ -1,0 +1,90 @@
+"""A DRAM channel: a set of banks sharing one command/data bus.
+
+The channel provides the timing mechanics only; *which* request to service
+is decided by a scheduling policy in :mod:`repro.controller`.  Servicing a
+request occupies its bank for the command-sequence latency and then the
+shared data bus for one burst; the bank is held until the burst completes
+(it is sourcing the data).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.dram.bank import Bank, RowBufferState
+from repro.params import DRAMConfig
+
+
+class Channel:
+    """Banks plus a shared data bus, with aggregate traffic counters."""
+
+    def __init__(self, config: DRAMConfig, channel_id: int = 0):
+        self.config = config
+        self.channel_id = channel_id
+        self.banks: List[Bank] = [
+            Bank(config.timings) for _ in range(config.banks_per_channel)
+        ]
+        self.bus_busy_until: int = 0
+        self.lines_transferred: int = 0
+
+    def _reserve_bus(self, earliest: int, duration: int) -> int:
+        """Book ``duration`` bus cycles, in scheduling order.
+
+        Data-bus slots are granted in the order the controller schedules
+        requests: a burst never overtakes an earlier-scheduled one, even
+        if its data is ready first.  This matches the paper's service
+        model — its Figure 2 timeline shows a scheduled row-conflict
+        occupying the DRAM system until its data completes, with no
+        overlap from later-scheduled row-hits — and it is what makes the
+        scheduling ORDER carry the performance consequences the paper
+        measures.
+        """
+        start = max(earliest, self.bus_busy_until)
+        self.bus_busy_until = start + duration
+        return start
+
+    def bank_free(self, bank_idx: int, now: int) -> bool:
+        return self.banks[bank_idx].busy_until <= now
+
+    def service(self, bank_idx: int, row: int, now: int) -> Tuple[RowBufferState, int]:
+        """Service one request on ``bank_idx`` starting at ``now``.
+
+        Returns ``(row_buffer_state, completion_time)``.  The caller must
+        ensure the bank is free at ``now``.
+
+        Timing model (paper §2.1 / footnote 4): the bank is occupied for
+        the full command sequence — CL for a row-hit, tRCD+CL row-closed,
+        tRP+tRCD+CL row-conflict — and then for its data burst on the
+        shared bus.  A single bank therefore delivers at most one line
+        per row-hit latency (the paper's "highest throughput the DRAM
+        bank can deliver"); the data bus needs several banks in flight to
+        saturate.  Row-hit batching still pays because hits occupy the
+        bank for roughly a third of a conflict.
+        """
+        bank = self.banks[bank_idx]
+        if bank.busy_until > now:
+            raise ValueError(
+                f"bank {bank_idx} busy until {bank.busy_until}, now={now}"
+            )
+        work = bank.pre_burst_work(row, self.config.timings.pipelined_cas)
+        state = bank.record_access(row)
+        data_ready = now + work
+        burst_start = self._reserve_bus(data_ready, self.config.timings.burst)
+        burst_end = burst_start + self.config.timings.burst
+        completion = burst_end + (
+            self.config.timings.cl if self.config.timings.pipelined_cas else 0
+        )
+        bank.busy_until = burst_end
+        self.lines_transferred += 1
+        return state, completion
+
+    def next_bank_free_time(self, bank_indices) -> int:
+        """Earliest time any of ``bank_indices`` becomes free."""
+        return min(self.banks[b].busy_until for b in bank_indices)
+
+    def row_hit_rate(self) -> float:
+        total = sum(b.total_accesses for b in self.banks)
+        if not total:
+            return 0.0
+        hits = sum(b.hits for b in self.banks)
+        return hits / total

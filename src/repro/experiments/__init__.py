@@ -1,0 +1,52 @@
+"""Per-figure/table experiment definitions.
+
+Every experiment in the paper's evaluation section has a generator here,
+registered in :data:`REGISTRY`.  Each generator takes a
+:class:`~repro.experiments.runner.Scale` and returns an
+:class:`~repro.experiments.runner.ExperimentResult` whose rows mirror the
+series the paper plots.  ``python -m repro.experiments <name>`` prints the
+table for one experiment; the benchmark harness in ``benchmarks/`` wraps
+the same generators.
+"""
+
+from repro.experiments.runner import (
+    REGISTRY,
+    ExperimentResult,
+    Scale,
+    register,
+    run_experiment,
+)
+
+# Importing the modules populates REGISTRY via their @register decorators.
+from repro.experiments import (  # noqa: E402,F401  (import for side effects)
+    ablations,
+    casestudies,
+    cost_tables,
+    fig01,
+    fig02,
+    fig04,
+    fig09,
+    fig16,
+    fig17,
+    fig19_20,
+    fig21_22,
+    fig23,
+    fig24,
+    fig25,
+    fig26_27,
+    fig28,
+    fig29_30,
+    fig31,
+    fig32,
+    single_core,
+    table08,
+    table09_10,
+)
+
+__all__ = [
+    "REGISTRY",
+    "ExperimentResult",
+    "Scale",
+    "register",
+    "run_experiment",
+]

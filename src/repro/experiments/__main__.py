@@ -1,0 +1,37 @@
+"""CLI: run registered experiments and print their tables.
+
+Usage::
+
+    python -m repro.experiments              # list experiments
+    python -m repro.experiments fig01 fig16  # run specific ones
+    python -m repro.experiments all          # run everything
+    REPRO_SCALE=paper python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import REGISTRY, Scale, run_experiment
+
+
+def main(argv) -> int:
+    if not argv:
+        print("available experiments:")
+        for name in sorted(REGISTRY):
+            print(f"  {name}")
+        print("\nusage: python -m repro.experiments <name>... | all")
+        return 0
+    names = sorted(REGISTRY) if argv == ["all"] else argv
+    scale = Scale.from_env()
+    for name in names:
+        start = time.time()
+        result = run_experiment(name, scale)
+        print(result.to_table())
+        print(f"({time.time() - start:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

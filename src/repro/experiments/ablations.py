@@ -1,0 +1,163 @@
+"""Ablation studies of PADC's design choices (beyond the paper's figures).
+
+The paper fixes several design parameters with one-line justifications;
+these experiments sweep them to show the sensitivity:
+
+* ``ablation_drop_threshold`` — APD's 4-level dynamic threshold (Table 6)
+  vs. fixed-low (drop everything old), fixed-high (drop almost nothing)
+  and no dropping at all, on the prefetch-unfriendly case-II mix.
+* ``ablation_promotion`` — APS's promotion threshold (85% in the paper)
+  swept from 0.5 to 0.99 on the mixed case-III workload.
+* ``ablation_interval`` — the accuracy-sampling interval (100K cycles in
+  the paper): too short is noisy, too long misses phases (milc).
+* ``ablation_aggressiveness`` — the stream prefetcher's degree/distance
+  (4/64 in the paper) under demand-first vs PADC: PADC should tolerate
+  over-aggressive settings better than the rigid policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.casestudies import CASE_II, CASE_III
+from repro.experiments.runner import (
+    ExperimentResult,
+    Scale,
+    alone_ipc,
+    register,
+)
+from repro.metrics import weighted_speedup
+from repro.params import baseline_config
+from repro.sim import simulate
+
+
+def _ws(result, mix, accesses, seed):
+    alone = [
+        alone_ipc(benchmark, accesses, seed=seed + index)
+        for index, benchmark in enumerate(mix)
+    ]
+    return weighted_speedup(result.ipcs(), alone)
+
+
+@register("ablation_drop_threshold")
+def ablation_drop_threshold(scale: Scale) -> ExperimentResult:
+    mix, seed = list(CASE_II), 7
+    variants = {
+        "no-drop (aps)": None,
+        "fixed-100": ((1.01, 100),),
+        "fixed-100K": ((1.01, 100_000),),
+        "dynamic (Table 6)": baseline_config(4).padc.drop_thresholds,
+    }
+    result = ExperimentResult(
+        "ablation_drop_threshold",
+        "APD drop-threshold policies on the prefetch-unfriendly mix",
+        notes=(
+            "The dynamic table should drop nearly as much junk as "
+            "fixed-100 without its useful-prefetch casualties."
+        ),
+    )
+    for label, thresholds in variants.items():
+        if thresholds is None:
+            config = baseline_config(4, policy="aps")
+        else:
+            config = baseline_config(4, policy="padc")
+            config = replace(
+                config, padc=replace(config.padc, drop_thresholds=tuple(thresholds))
+            )
+        run = simulate(config, mix, max_accesses_per_core=scale.accesses, seed=seed)
+        result.rows.append(
+            {
+                "variant": label,
+                "ws": _ws(run, mix, scale.accesses, seed),
+                "traffic": run.total_traffic,
+                "dropped": run.dropped_prefetches,
+                "useless": run.traffic_breakdown()["pref-useless"],
+            }
+        )
+    return result
+
+
+@register("ablation_promotion")
+def ablation_promotion(scale: Scale) -> ExperimentResult:
+    mix, seed = list(CASE_III), 7
+    result = ExperimentResult(
+        "ablation_promotion",
+        "APS promotion threshold sweep on the mixed workload",
+        notes="The paper uses 0.85; low thresholds degenerate toward "
+        "demand-prefetch-equal, high ones toward demand-first.",
+    )
+    for threshold in (0.5, 0.7, 0.85, 0.95, 0.99):
+        config = baseline_config(4, policy="aps")
+        config = replace(
+            config, padc=replace(config.padc, promotion_threshold=threshold)
+        )
+        run = simulate(config, mix, max_accesses_per_core=scale.accesses, seed=seed)
+        result.rows.append(
+            {
+                "promotion_threshold": threshold,
+                "ws": _ws(run, mix, scale.accesses, seed),
+                "traffic": run.total_traffic,
+            }
+        )
+    return result
+
+
+@register("ablation_interval")
+def ablation_interval(scale: Scale) -> ExperimentResult:
+    seed = 7
+    mix = ["milc", "milc", "milc", "milc"]
+    result = ExperimentResult(
+        "ablation_interval",
+        "Accuracy-sampling interval sweep on phased milc (4 copies)",
+        notes="The paper samples every 100K cycles; the interval must be "
+        "short enough to catch milc's accuracy phases.",
+    )
+    for interval in (25_000, 100_000, 400_000):
+        config = baseline_config(4, policy="padc")
+        config = replace(
+            config, padc=replace(config.padc, accuracy_interval=interval)
+        )
+        run = simulate(config, mix, max_accesses_per_core=scale.accesses, seed=seed)
+        result.rows.append(
+            {
+                "interval": interval,
+                "ws": _ws(run, mix, scale.accesses, seed),
+                "dropped": run.dropped_prefetches,
+                "traffic": run.total_traffic,
+            }
+        )
+    return result
+
+
+@register("ablation_aggressiveness")
+def ablation_aggressiveness(scale: Scale) -> ExperimentResult:
+    mix, seed = list(CASE_II), 7
+    result = ExperimentResult(
+        "ablation_aggressiveness",
+        "Stream prefetcher degree/distance under demand-first vs PADC",
+        notes="PADC should tolerate over-aggressive prefetching better "
+        "than the rigid policy (it drops the extra junk).",
+    )
+    for degree, distance in ((1, 16), (2, 32), (4, 64), (8, 128)):
+        for policy in ("demand-first", "padc"):
+            config = baseline_config(4, policy=policy)
+            config = replace(
+                config,
+                prefetcher=replace(
+                    config.prefetcher, degree=degree, distance=distance
+                ),
+            )
+            run = simulate(
+                config, mix, max_accesses_per_core=scale.accesses, seed=seed
+            )
+            result.rows.append(
+                {
+                    "degree": degree,
+                    "distance": distance,
+                    "policy": policy,
+                    "ws": _ws(run, mix, scale.accesses, seed),
+                    "traffic": run.total_traffic,
+                    "dropped": run.dropped_prefetches,
+                }
+            )
+    return result

@@ -1,0 +1,89 @@
+"""Case studies I-III on the 4-core system (Figures 10-15).
+
+* Case I  — four prefetch-friendly apps (swim, bwaves, leslie3d, soplex).
+* Case II — four prefetch-unfriendly apps (art, galgel, ammp, milc).
+* Case III — mixed (omnetpp, libquantum, galgel, GemsFDTD).
+
+Each produces individual speedups, system metrics (WS/HS/UF), SPL and the
+bus-traffic breakdown per application.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentResult,
+    Scale,
+    alone_ipc,
+    register,
+    run_policies,
+)
+from repro.metrics import harmonic_speedup, unfairness, weighted_speedup
+
+CASE_I = ("swim", "bwaves", "leslie3d", "soplex")
+CASE_II = ("art", "galgel", "ammp", "milc")
+CASE_III = ("omnetpp", "libquantum", "galgel", "GemsFDTD")
+
+
+def case_study(
+    experiment_id: str,
+    title: str,
+    mix: Sequence[str],
+    scale: Scale,
+    policies=DEFAULT_POLICIES,
+    seed: int = 7,
+) -> ExperimentResult:
+    runs = run_policies(list(mix), scale.accesses, policies=policies, seed=seed)
+    alone = [
+        alone_ipc(benchmark, scale.accesses, seed=seed + index)
+        for index, benchmark in enumerate(mix)
+    ]
+    result = ExperimentResult(experiment_id, title)
+    for policy in policies:
+        run = runs[policy]
+        together = run.ipcs()
+        breakdown = run.traffic_breakdown()
+        row = {"policy": policy}
+        for index, benchmark in enumerate(mix):
+            row[f"IS_{benchmark}"] = together[index] / alone[index]
+        row["ws"] = weighted_speedup(together, alone)
+        row["hs"] = harmonic_speedup(together, alone)
+        row["uf"] = unfairness(together, alone)
+        row["spl"] = sum(core.spl for core in run.cores) / len(run.cores)
+        row["traffic"] = run.total_traffic
+        row["useless"] = breakdown["pref-useless"]
+        row["dropped"] = run.dropped_prefetches
+        result.rows.append(row)
+    return result
+
+
+@register("fig10_11")
+def fig10_11(scale: Scale) -> ExperimentResult:
+    return case_study(
+        "fig10_11",
+        "Case study I: four prefetch-friendly applications (4-core)",
+        CASE_I,
+        scale,
+    )
+
+
+@register("fig12_13")
+def fig12_13(scale: Scale) -> ExperimentResult:
+    return case_study(
+        "fig12_13",
+        "Case study II: four prefetch-unfriendly applications (4-core)",
+        CASE_II,
+        scale,
+    )
+
+
+@register("fig14_15")
+def fig14_15(scale: Scale) -> ExperimentResult:
+    return case_study(
+        "fig14_15",
+        "Case study III: mixed prefetch-friendly/unfriendly (4-core)",
+        CASE_III,
+        scale,
+    )

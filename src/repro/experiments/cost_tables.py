@@ -1,0 +1,43 @@
+"""Tables 1-2: PADC hardware storage cost (§4.4).
+
+Pure combinatorics; reproduces the paper's 34,720 bits (~4.25KB, 0.2% of
+the 4-core system's L2 capacity) exactly.
+"""
+
+from __future__ import annotations
+
+from repro.controller.cost import cost_as_fraction_of_l2, padc_storage_cost
+from repro.experiments.runner import ExperimentResult, Scale, register
+
+
+@register("table01_02")
+def table01_02(scale: Scale) -> ExperimentResult:
+    result = ExperimentResult(
+        "table01_02",
+        "PADC hardware storage cost per system size",
+        notes="4-core row must match the paper exactly: 34,720 bits / 1,824 without P bits.",
+    )
+    for num_cores in (1, 2, 4, 8):
+        cache_lines = (16384 if num_cores == 1 else 8192)
+        request_entries = {1: 64, 2: 64, 4: 128, 8: 256}[num_cores]
+        cost = padc_storage_cost(
+            num_cores=num_cores,
+            cache_lines_per_core=cache_lines,
+            request_buffer_entries=request_entries,
+        )
+        l2_bytes = cache_lines * 64 * num_cores
+        result.rows.append(
+            {
+                "cores": num_cores,
+                "P": cost.prefetch_bits,
+                "PSC+PUC+PAR": cost.psc_bits + cost.puc_bits + cost.par_bits,
+                "U": cost.urgent_bits,
+                "ID": cost.core_id_bits,
+                "AGE": cost.age_bits,
+                "total_bits": cost.total_bits,
+                "total_KB": cost.total_bits / 8192,
+                "no_P_bits": cost.total_bits_without_p_bits,
+                "frac_of_L2": cost_as_fraction_of_l2(cost, l2_bytes),
+            }
+        )
+    return result

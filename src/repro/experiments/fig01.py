@@ -1,0 +1,56 @@
+"""Figure 1: stream-prefetcher performance under two rigid policies.
+
+Normalized IPC (to no-prefetching) for 10 benchmarks under demand-first
+and demand-prefetch-equal.  Expected shape: the prefetch-unfriendly five
+(galgel, ammp, art, milc, xalancbmk) prefer demand-first; the friendly
+five (swim, libquantum, bwaves, leslie3d, lbm) prefer equal treatment.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    Scale,
+    register,
+    run_policies,
+)
+
+FIG1_BENCHMARKS = (
+    "galgel",
+    "ammp",
+    "xalancbmk",
+    "art",
+    "milc",
+    "swim",
+    "libquantum",
+    "bwaves",
+    "leslie3d",
+    "lbm",
+)
+
+
+@register("fig01")
+def fig01(scale: Scale) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig01",
+        "Normalized performance of a stream prefetcher under rigid policies",
+        notes=(
+            "IPC normalized to no prefetching; paper Fig.1 shape: left five "
+            "favor demand-first, right five favor demand-prefetch-equal."
+        ),
+    )
+    for benchmark in FIG1_BENCHMARKS:
+        runs = run_policies(
+            [benchmark],
+            scale.accesses,
+            policies=("no-pref", "demand-first", "demand-prefetch-equal"),
+        )
+        base = runs["no-pref"].ipc()
+        result.rows.append(
+            {
+                "benchmark": benchmark,
+                "demand-first": runs["demand-first"].ipc() / base,
+                "demand-pref-equal": runs["demand-prefetch-equal"].ipc() / base,
+            }
+        )
+    return result

@@ -1,0 +1,72 @@
+"""Figure 9: overall performance on the 2-core system.
+
+Average WS/HS and bus traffic over random 2-benchmark mixes (the paper
+averages 54 mixes; the quick scale uses fewer).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentResult,
+    Scale,
+    average,
+    register,
+    run_policies,
+    speedup_metrics,
+)
+from repro.workloads import workload_mixes
+
+
+def multicore_overview(
+    experiment_id: str,
+    title: str,
+    num_cores: int,
+    num_mixes: int,
+    scale: Scale,
+    config_builder=None,
+    policies=DEFAULT_POLICIES,
+    seed: int = 100,
+) -> ExperimentResult:
+    """Shared machinery for the 2/4/8-core overview figures."""
+    mixes = workload_mixes(num_cores, num_mixes, seed=seed)
+    metrics = {policy: {"ws": [], "hs": [], "uf": [], "traffic": []} for policy in policies}
+    for index, mix in enumerate(mixes):
+        names = [profile.name for profile in mix]
+        runs = run_policies(
+            names,
+            scale.accesses,
+            policies=policies,
+            seed=index,
+            config_builder=config_builder,
+        )
+        for policy in policies:
+            speedups = speedup_metrics(runs[policy], names, scale.accesses, seed=index)
+            metrics[policy]["ws"].append(speedups["ws"])
+            metrics[policy]["hs"].append(speedups["hs"])
+            metrics[policy]["uf"].append(speedups["uf"])
+            metrics[policy]["traffic"].append(runs[policy].total_traffic)
+    result = ExperimentResult(experiment_id, title)
+    for policy in policies:
+        result.rows.append(
+            {
+                "policy": policy,
+                "ws": average(metrics[policy]["ws"]),
+                "hs": average(metrics[policy]["hs"]),
+                "uf": average(metrics[policy]["uf"]),
+                "traffic": average(metrics[policy]["traffic"]),
+            }
+        )
+    result.notes = f"averaged over {len(mixes)} random {num_cores}-core mixes"
+    return result
+
+
+@register("fig09")
+def fig09(scale: Scale) -> ExperimentResult:
+    return multicore_overview(
+        "fig09",
+        "2-core overall performance and bus traffic",
+        num_cores=2,
+        num_mixes=scale.mixes_2core,
+        scale=scale,
+    )

@@ -1,0 +1,21 @@
+"""Figure 16: overall performance on the 4-core system.
+
+Paper: PADC improves WS by 8.2% and HS by 4.1% over demand-first while
+cutting bus traffic by ~10%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig09 import multicore_overview
+from repro.experiments.runner import ExperimentResult, Scale, register
+
+
+@register("fig16")
+def fig16(scale: Scale) -> ExperimentResult:
+    return multicore_overview(
+        "fig16",
+        "4-core overall performance and bus traffic",
+        num_cores=4,
+        num_mixes=scale.mixes_4core,
+        scale=scale,
+    )

@@ -1,0 +1,22 @@
+"""Figure 17: overall performance on the 8-core system.
+
+Paper: rigid policies make prefetching a net loss at 8 cores, while PADC
+improves WS by 9.9% and cuts bandwidth 9.4% — the benefit grows with
+core count because DRAM bandwidth becomes scarcer.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig09 import multicore_overview
+from repro.experiments.runner import ExperimentResult, Scale, register
+
+
+@register("fig17")
+def fig17(scale: Scale) -> ExperimentResult:
+    return multicore_overview(
+        "fig17",
+        "8-core overall performance and bus traffic",
+        num_cores=8,
+        num_mixes=scale.mixes_8core,
+        scale=scale,
+    )

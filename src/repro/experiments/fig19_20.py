@@ -1,0 +1,48 @@
+"""Figures 19-20: PADC augmented with PAR-BS-style request ranking (§6.5).
+
+Compares demand-first, PADC, and PADC-rank on the 4-core and 8-core
+systems.  Paper: ranking improves unfairness on the 4-core system and
+both fairness and performance on the more contended 8-core system.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.experiments.fig09 import multicore_overview
+from repro.experiments.runner import ExperimentResult, Scale, register
+from repro.params import baseline_config
+
+RANK_POLICIES = ("demand-first", "padc", "padc-rank")
+
+
+def _config(num_cores: int, policy: str):
+    if policy == "padc-rank":
+        return baseline_config(num_cores, policy="padc", use_ranking=True)
+    return baseline_config(num_cores, policy=policy)
+
+
+@register("fig19")
+def fig19(scale: Scale) -> ExperimentResult:
+    return multicore_overview(
+        "fig19",
+        "PADC with request ranking, 4-core (WS/HS/UF/traffic)",
+        num_cores=4,
+        num_mixes=scale.mixes_4core,
+        scale=scale,
+        config_builder=partial(_config, 4),
+        policies=RANK_POLICIES,
+    )
+
+
+@register("fig20")
+def fig20(scale: Scale) -> ExperimentResult:
+    return multicore_overview(
+        "fig20",
+        "PADC with request ranking, 8-core (WS/HS/UF/traffic)",
+        num_cores=8,
+        num_mixes=scale.mixes_8core,
+        scale=scale,
+        config_builder=partial(_config, 8),
+        policies=RANK_POLICIES,
+    )

@@ -1,0 +1,42 @@
+"""Figures 21-22: dual memory controllers (§6.6).
+
+Two independent channels double peak bandwidth.  Paper: baselines improve
+a lot, but PADC still wins (+5.9% WS on 4-core, +5.5% on 8-core) and
+saves ~13% bandwidth.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.experiments.fig09 import multicore_overview
+from repro.experiments.runner import ExperimentResult, Scale, register
+from repro.params import baseline_config
+
+
+def _dual_channel_config(num_cores: int, policy: str):
+    return baseline_config(num_cores, policy=policy, num_channels=2)
+
+
+@register("fig21")
+def fig21(scale: Scale) -> ExperimentResult:
+    return multicore_overview(
+        "fig21",
+        "4-core system with two memory controllers",
+        num_cores=4,
+        num_mixes=scale.mixes_4core,
+        scale=scale,
+        config_builder=partial(_dual_channel_config, 4),
+    )
+
+
+@register("fig22")
+def fig22(scale: Scale) -> ExperimentResult:
+    return multicore_overview(
+        "fig22",
+        "8-core system with two memory controllers",
+        num_cores=8,
+        num_mixes=scale.mixes_8core,
+        scale=scale,
+        config_builder=partial(_dual_channel_config, 8),
+    )

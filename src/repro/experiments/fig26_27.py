@@ -1,0 +1,42 @@
+"""Figures 26-27: shared last-level cache (§6.10).
+
+With a shared L2, one core's useless prefetches evict other cores' data,
+so demand-prefetch-equal degrades sharply while PADC keeps winning
+(+8.0% WS on 4-core, +7.6% on 8-core in the paper).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.experiments.fig09 import multicore_overview
+from repro.experiments.runner import ExperimentResult, Scale, register
+from repro.params import baseline_config
+
+
+def _shared_config(num_cores: int, policy: str):
+    return baseline_config(num_cores, policy=policy, shared_cache=True)
+
+
+@register("fig26")
+def fig26(scale: Scale) -> ExperimentResult:
+    return multicore_overview(
+        "fig26",
+        "4-core system with a shared L2 cache",
+        num_cores=4,
+        num_mixes=scale.mixes_4core,
+        scale=scale,
+        config_builder=partial(_shared_config, 4),
+    )
+
+
+@register("fig27")
+def fig27(scale: Scale) -> ExperimentResult:
+    return multicore_overview(
+        "fig27",
+        "8-core system with a shared L2 cache",
+        num_cores=8,
+        num_mixes=scale.mixes_8core,
+        scale=scale,
+        config_builder=partial(_shared_config, 8),
+    )

@@ -1,0 +1,100 @@
+"""Figures 29-30: comparison and combination with DDPF and FDP (§6.12).
+
+Fig.29 pairs the filters with demand-first and with APS; Fig.30 pairs
+them with demand-prefetch-equal.  Paper: the filters cut more traffic
+than APD but also kill useful prefetches, so APD (and full PADC) wins on
+performance while the filters win on raw bandwidth; APS composes with
+either filter.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    Scale,
+    average,
+    register,
+    run_policies,
+    speedup_metrics,
+)
+from repro.params import baseline_config
+from repro.workloads import workload_mixes
+
+FIG29_VARIANTS = (
+    ("demand-first", "demand-first", None),
+    ("demand-first-ddpf", "demand-first", "ddpf"),
+    ("demand-first-fdp", "demand-first", "fdp"),
+    ("demand-first-apd", "demand-first-apd", None),
+    ("aps-ddpf", "aps", "ddpf"),
+    ("aps-fdp", "aps", "fdp"),
+    ("aps-apd (PADC)", "padc", None),
+)
+
+FIG30_VARIANTS = (
+    ("demand-first", "demand-first", None),
+    ("demand-pref-equal", "demand-prefetch-equal", None),
+    ("demand-pref-equal-ddpf", "demand-prefetch-equal", "ddpf"),
+    ("demand-pref-equal-fdp", "demand-prefetch-equal", "fdp"),
+    ("aps", "aps", None),
+    ("aps-apd (PADC)", "padc", None),
+)
+
+
+def _filter_config(variants, label: str):
+    for name, policy, filter_kind in variants:
+        if name == label:
+            return baseline_config(4, policy=policy, filter_kind=filter_kind)
+    raise KeyError(label)
+
+
+def _filters_experiment(
+    experiment_id: str, title: str, variants, scale: Scale
+) -> ExperimentResult:
+    mixes = workload_mixes(4, max(2, scale.mixes_4core // 2), seed=100)
+    labels = [name for name, _policy, _filter in variants]
+    metrics = {label: {"ws": [], "traffic": []} for label in labels}
+    for index, mix in enumerate(mixes):
+        names = [profile.name for profile in mix]
+        runs = run_policies(
+            names,
+            scale.accesses,
+            policies=labels,
+            seed=index,
+            config_builder=partial(_filter_config, variants),
+        )
+        for label in labels:
+            speedups = speedup_metrics(runs[label], names, scale.accesses, seed=index)
+            metrics[label]["ws"].append(speedups["ws"])
+            metrics[label]["traffic"].append(runs[label].total_traffic)
+    result = ExperimentResult(experiment_id, title)
+    for label in labels:
+        result.rows.append(
+            {
+                "variant": label,
+                "ws": average(metrics[label]["ws"]),
+                "traffic": average(metrics[label]["traffic"]),
+            }
+        )
+    return result
+
+
+@register("fig29")
+def fig29(scale: Scale) -> ExperimentResult:
+    return _filters_experiment(
+        "fig29",
+        "DDPF / FDP / APD with demand-first and APS (4-core)",
+        FIG29_VARIANTS,
+        scale,
+    )
+
+
+@register("fig30")
+def fig30(scale: Scale) -> ExperimentResult:
+    return _filters_experiment(
+        "fig30",
+        "DDPF / FDP with demand-prefetch-equal vs PADC (4-core)",
+        FIG30_VARIANTS,
+        scale,
+    )

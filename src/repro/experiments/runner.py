@@ -1,0 +1,224 @@
+"""Shared infrastructure for the per-figure experiments.
+
+* :class:`Scale` — run sizes (``quick`` for tests/benchmarks, ``paper``
+  for the full overnight reproduction).
+* :class:`ExperimentResult` — id, title, rows (list of dicts) and notes,
+  with an ASCII table renderer.
+* :func:`run_policies` / :func:`alone_ipc` — memoized simulation helpers
+  shared by all experiments (the paper measures IPC_alone with the
+  demand-first policy, §5.2).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.metrics import harmonic_speedup, unfairness, weighted_speedup
+from repro.params import SystemConfig, baseline_config
+from repro.sim import SimResult, simulate
+
+DEFAULT_POLICIES = (
+    "no-pref",
+    "demand-first",
+    "demand-prefetch-equal",
+    "aps",
+    "padc",
+)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Run-size knobs for an experiment."""
+
+    accesses: int = 5_000
+    mixes_2core: int = 4
+    mixes_4core: int = 4
+    mixes_8core: int = 3
+    single_core_benches: int = 15
+
+    @staticmethod
+    def from_env() -> "Scale":
+        """Pick the scale from $REPRO_SCALE (quick|medium|paper)."""
+        name = os.environ.get("REPRO_SCALE", "quick")
+        return SCALES.get(name, SCALES["quick"])
+
+
+SCALES: Dict[str, Scale] = {
+    "tiny": Scale(
+        accesses=2_500,
+        mixes_2core=2,
+        mixes_4core=2,
+        mixes_8core=1,
+        single_core_benches=10,
+    ),
+    "quick": Scale(),
+    "medium": Scale(
+        accesses=12_000,
+        mixes_2core=10,
+        mixes_4core=8,
+        mixes_8core=5,
+        single_core_benches=15,
+    ),
+    "paper": Scale(
+        accesses=40_000,
+        mixes_2core=54,
+        mixes_4core=32,
+        mixes_8core=21,
+        single_core_benches=55,
+    ),
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Rows reproducing one table/figure, plus provenance notes."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict] = field(default_factory=list)
+    notes: str = ""
+
+    def to_table(self) -> str:
+        """Render the rows as a fixed-width ASCII table."""
+        if not self.rows:
+            return f"[{self.experiment_id}] {self.title}\n(no rows)"
+        columns = list(self.rows[0].keys())
+        widths = {
+            col: max(
+                len(str(col)),
+                max(len(_fmt(row.get(col, ""))) for row in self.rows),
+            )
+            for col in columns
+        }
+        lines = [f"[{self.experiment_id}] {self.title}"]
+        lines.append("  ".join(str(col).ljust(widths[col]) for col in columns))
+        lines.append("  ".join("-" * widths[col] for col in columns))
+        for row in self.rows:
+            lines.append(
+                "  ".join(_fmt(row.get(col, "")).ljust(widths[col]) for col in columns)
+            )
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List:
+        return [row[name] for row in self.rows]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+REGISTRY: Dict[str, Callable[[Scale], ExperimentResult]] = {}
+
+
+def register(name: str):
+    """Decorator registering an experiment generator under ``name``."""
+
+    def wrap(function):
+        REGISTRY[name] = function
+        return function
+
+    return wrap
+
+
+def run_experiment(name: str, scale: Optional[Scale] = None) -> ExperimentResult:
+    """Run one registered experiment by name."""
+    if name not in REGISTRY:
+        raise KeyError(f"unknown experiment {name!r}; known: {sorted(REGISTRY)}")
+    return REGISTRY[name](scale or Scale.from_env())
+
+
+# -- memoized simulation helpers ---------------------------------------------
+
+_ALONE_CACHE: Dict = {}
+
+
+def alone_ipc(
+    benchmark,
+    accesses: int,
+    config: Optional[SystemConfig] = None,
+    seed: int = 0,
+) -> float:
+    """IPC of ``benchmark`` running alone (demand-first policy, §5.2).
+
+    ``benchmark`` is a profile name or a BenchmarkProfile (profiles are
+    frozen/hashable, so both memoize).
+    """
+    key = (benchmark, accesses, seed, _config_key(config))
+    if key not in _ALONE_CACHE:
+        base = config or baseline_config(1, policy="demand-first")
+        if base.num_cores != 1:
+            raise ValueError("alone_ipc requires a single-core config")
+        result = simulate(base, [benchmark], max_accesses_per_core=accesses, seed=seed)
+        _ALONE_CACHE[key] = result.cores[0].ipc
+    return _ALONE_CACHE[key]
+
+
+def _config_key(config: Optional[SystemConfig]):
+    if config is None:
+        return None
+    return (
+        config.policy,
+        config.prefetcher.kind,
+        config.cache.size_bytes,
+        config.dram.num_channels,
+        config.dram.row_buffer_bytes,
+        config.dram.open_row_policy,
+        config.dram.permutation_interleaving,
+        config.core.runahead,
+    )
+
+
+def run_policies(
+    benchmarks: Sequence[str],
+    accesses: int,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    seed: int = 0,
+    config_builder: Optional[Callable[[str], SystemConfig]] = None,
+    **sim_kwargs,
+) -> Dict[str, SimResult]:
+    """Run one workload under several policies and return the results."""
+    results = {}
+    for policy in policies:
+        if config_builder is not None:
+            config = config_builder(policy)
+        else:
+            config = baseline_config(len(benchmarks), policy=policy)
+        results[policy] = simulate(
+            config,
+            benchmarks,
+            max_accesses_per_core=accesses,
+            seed=seed,
+            **sim_kwargs,
+        )
+    return results
+
+
+def speedup_metrics(
+    result: SimResult,
+    benchmarks: Sequence[str],
+    accesses: int,
+    alone_config: Optional[SystemConfig] = None,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """WS/HS/UF of a multiprogrammed run against demand-first alone runs."""
+    alone = [
+        alone_ipc(benchmark, accesses, config=alone_config, seed=seed + index)
+        for index, benchmark in enumerate(benchmarks)
+    ]
+    together = result.ipcs()
+    return {
+        "ws": weighted_speedup(together, alone),
+        "hs": harmonic_speedup(together, alone),
+        "uf": unfairness(together, alone),
+    }
+
+
+def average(values: Sequence[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,55 @@
+"""Table 8: effect of prioritizing urgent requests (case study III).
+
+Compares APS/PADC with and without the urgency rule.  Paper: without
+urgency, demands of the prefetch-unfriendly cores starve behind the
+critical requests of accurate-prefetcher cores, blowing up unfairness;
+urgency restores fairness at little throughput cost.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.casestudies import CASE_III
+from repro.experiments.runner import (
+    ExperimentResult,
+    Scale,
+    alone_ipc,
+    register,
+)
+from repro.metrics import harmonic_speedup, unfairness, weighted_speedup
+from repro.params import baseline_config
+from repro.sim import simulate
+
+VARIANTS = (
+    ("demand-first", "demand-first", True),
+    ("aps-no-urgent", "aps", False),
+    ("aps", "aps", True),
+    ("aps-apd-no-urgent", "padc", False),
+    ("aps-apd (PADC)", "padc", True),
+)
+
+
+@register("table08")
+def table08(scale: Scale) -> ExperimentResult:
+    seed = 7
+    mix = list(CASE_III)
+    alone = [
+        alone_ipc(benchmark, scale.accesses, seed=seed + index)
+        for index, benchmark in enumerate(mix)
+    ]
+    result = ExperimentResult(
+        "table08",
+        "Effect of prioritizing urgent requests (case study III mix)",
+        notes="Paper Table 8: urgency improves UF and HS substantially.",
+    )
+    for label, policy, use_urgency in VARIANTS:
+        config = baseline_config(4, policy=policy, use_urgency=use_urgency)
+        run = simulate(config, mix, max_accesses_per_core=scale.accesses, seed=seed)
+        together = run.ipcs()
+        row = {"variant": label}
+        for index, benchmark in enumerate(mix):
+            row[f"IS_{benchmark}"] = together[index] / alone[index]
+        row["uf"] = unfairness(together, alone)
+        row["ws"] = weighted_speedup(together, alone)
+        row["hs"] = harmonic_speedup(together, alone)
+        result.rows.append(row)
+    return result

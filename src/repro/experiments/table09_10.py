@@ -1,0 +1,62 @@
+"""Tables 9-10: four identical applications on the 4-core system.
+
+Table 9 runs 4 copies of libquantum (prefetch-friendly): the equal /
+APS / PADC policies should all win and deliver the same speedup to every
+instance.  Table 10 runs 4 copies of milc (prefetch-unfriendly): PADC
+should beat every rigid policy by dropping useless prefetches evenly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentResult,
+    Scale,
+    alone_ipc,
+    register,
+    run_policies,
+)
+from repro.metrics import harmonic_speedup, unfairness, weighted_speedup
+
+
+def identical_apps(
+    experiment_id: str, benchmark: str, title: str, scale: Scale
+) -> ExperimentResult:
+    mix = [benchmark] * 4
+    seed = 11
+    alone = [
+        alone_ipc(benchmark, scale.accesses, seed=seed + index)
+        for index in range(4)
+    ]
+    runs = run_policies(mix, scale.accesses, DEFAULT_POLICIES, seed=seed)
+    result = ExperimentResult(experiment_id, title)
+    for policy in DEFAULT_POLICIES:
+        together = runs[policy].ipcs()
+        row = {"policy": policy}
+        for index in range(4):
+            row[f"IS_{index}"] = together[index] / alone[index]
+        row["ws"] = weighted_speedup(together, alone)
+        row["hs"] = harmonic_speedup(together, alone)
+        row["uf"] = unfairness(together, alone)
+        result.rows.append(row)
+    return result
+
+
+@register("table09")
+def table09(scale: Scale) -> ExperimentResult:
+    return identical_apps(
+        "table09",
+        "libquantum",
+        "Four identical prefetch-friendly apps (4x libquantum)",
+        scale,
+    )
+
+
+@register("table10")
+def table10(scale: Scale) -> ExperimentResult:
+    return identical_apps(
+        "table10",
+        "milc",
+        "Four identical prefetch-unfriendly apps (4x milc)",
+        scale,
+    )

@@ -1,0 +1,21 @@
+"""Performance metrics from the paper's §5.2.
+
+Speedup metrics for multiprogrammed workloads (IS, WS, HS, UF) and helper
+aggregations (geometric mean, normalized IPC).
+"""
+
+from repro.metrics.speedup import (
+    geometric_mean,
+    harmonic_speedup,
+    individual_speedups,
+    unfairness,
+    weighted_speedup,
+)
+
+__all__ = [
+    "individual_speedups",
+    "weighted_speedup",
+    "harmonic_speedup",
+    "unfairness",
+    "geometric_mean",
+]

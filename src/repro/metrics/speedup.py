@@ -1,0 +1,65 @@
+"""Multiprogram speedup metrics (paper §5.2 and §6.3.4).
+
+Given per-application IPCs measured running *together* on the CMP and
+*alone* on one core:
+
+* ``IS_i = IPC_together_i / IPC_alone_i``
+* ``WS = Σ IS_i``                     (system throughput [30])
+* ``HS = N / Σ (1 / IS_i)``           (inverse job turnaround time [12])
+* ``UF = max(IS) / min(IS)``          (unfairness [3])
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def individual_speedups(
+    ipc_together: Sequence[float], ipc_alone: Sequence[float]
+) -> List[float]:
+    """IS_i per core; raises on mismatched lengths or zero alone-IPC."""
+    if len(ipc_together) != len(ipc_alone):
+        raise ValueError("ipc_together and ipc_alone must have equal length")
+    speedups = []
+    for together, alone in zip(ipc_together, ipc_alone):
+        if alone <= 0:
+            raise ValueError("alone IPC must be positive")
+        speedups.append(together / alone)
+    return speedups
+
+
+def weighted_speedup(
+    ipc_together: Sequence[float], ipc_alone: Sequence[float]
+) -> float:
+    """WS = sum of individual speedups (system throughput)."""
+    return sum(individual_speedups(ipc_together, ipc_alone))
+
+
+def harmonic_speedup(
+    ipc_together: Sequence[float], ipc_alone: Sequence[float]
+) -> float:
+    """HS = harmonic mean of individual speedups (job turnaround)."""
+    speedups = individual_speedups(ipc_together, ipc_alone)
+    if any(s <= 0 for s in speedups):
+        return 0.0
+    return len(speedups) / sum(1.0 / s for s in speedups)
+
+
+def unfairness(ipc_together: Sequence[float], ipc_alone: Sequence[float]) -> float:
+    """UF = max(IS) / min(IS); 1.0 is perfectly fair (paper §6.3.4)."""
+    speedups = individual_speedups(ipc_together, ipc_alone)
+    low = min(speedups)
+    if low <= 0:
+        return math.inf
+    return max(speedups) / low
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, used for the paper's gmean55-style averages."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,32 @@
+"""Hardware prefetchers and prefetch filters.
+
+* :class:`~repro.prefetch.stream.StreamPrefetcher` — the paper's primary
+  prefetcher (IBM POWER4/5-style, §2.3): 32 streams, prefetch degree 4,
+  prefetch distance 64 lines.
+* :class:`~repro.prefetch.stride.StridePrefetcher` — PC-based stride [1].
+* :class:`~repro.prefetch.cdc.CDCPrefetcher` — CZone/Delta-Correlation [24].
+* :class:`~repro.prefetch.markov.MarkovPrefetcher` — correlation-based [7].
+* :class:`~repro.prefetch.ddpf.DDPFFilter` — dynamic data prefetch
+  filtering [41] (compared against APD in §6.12).
+* :class:`~repro.prefetch.fdp.FDPController` — feedback-directed
+  aggressiveness throttling [32] (also §6.12).
+"""
+
+from repro.prefetch.base import Prefetcher, make_prefetcher
+from repro.prefetch.cdc import CDCPrefetcher
+from repro.prefetch.ddpf import DDPFFilter
+from repro.prefetch.fdp import FDPController
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.stream import StreamPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+
+__all__ = [
+    "Prefetcher",
+    "make_prefetcher",
+    "StreamPrefetcher",
+    "StridePrefetcher",
+    "CDCPrefetcher",
+    "MarkovPrefetcher",
+    "DDPFFilter",
+    "FDPController",
+]

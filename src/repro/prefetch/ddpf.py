@@ -1,0 +1,50 @@
+"""Dynamic Data Prefetch Filtering (Zhuang & Lee [41], paper §6.12).
+
+A gshare-style Prefetch History Table of 2-bit counters predicts whether a
+prefetch to an address will be useful, based on whether past prefetches
+with the same index were.  The index hashes the candidate line address
+with the triggering PC (the paper's PC-based gshare variant).
+
+Training feedback comes from the cache/memory system:
+
+* a prefetched line used by a demand → strengthen (useful);
+* a prefetched line evicted unused, or a prefetch dropped → weaken.
+
+As the paper observes, aliasing in the finite table makes DDPF filter out
+useful prefetches along with useless ones — that emerges naturally here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class DDPFFilter:
+    """PC-based gshare prefetch filter with a 2-bit counter PHT."""
+
+    def __init__(self, table_bits: int = 12, threshold: int = 1, initial: int = 3):
+        self.size = 1 << table_bits
+        self.mask = self.size - 1
+        self.threshold = threshold
+        self.table: List[int] = [initial] * self.size
+        self.filtered = 0
+        self.allowed = 0
+
+    def _index(self, line_addr: int, pc: int) -> int:
+        return (line_addr ^ (pc << 3) ^ (line_addr >> 12)) & self.mask
+
+    def allow(self, line_addr: int, pc: int = 0) -> bool:
+        """Predict usefulness; True means the prefetch may be issued."""
+        if self.table[self._index(line_addr, pc)] >= self.threshold:
+            self.allowed += 1
+            return True
+        self.filtered += 1
+        return False
+
+    def train(self, line_addr: int, useful: bool, pc: int = 0) -> None:
+        """Update the PHT with the observed outcome of a past prefetch."""
+        index = self._index(line_addr, pc)
+        if useful:
+            self.table[index] = min(self.table[index] + 1, 3)
+        else:
+            self.table[index] = max(self.table[index] - 1, 0)

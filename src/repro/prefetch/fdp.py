@@ -1,0 +1,116 @@
+"""Feedback-Directed Prefetching (Srinath et al. [32], paper §6.12).
+
+FDP adjusts the stream prefetcher's aggressiveness — a (degree, distance)
+pair chosen from five levels, Very Conservative through Very Aggressive —
+at every accuracy-sampling interval, using three feedback signals:
+
+* **accuracy** (useful / sent, from the interval's PSC/PUC);
+* **lateness** (useful prefetches that were matched by a demand while
+  still in flight / useful prefetches);
+* **pollution** (demand misses to lines recently evicted by prefetch
+  fills, tracked in a fixed-size filter).
+
+The decision table follows the published mechanism: accurate-and-late
+prefetching is made more aggressive, inaccurate or polluting prefetching
+is throttled down.  As the paper notes, FDP reacts slowly when a new
+program phase begins — a property this implementation shares, since level
+changes move one step per interval.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.prefetch.stream import StreamPrefetcher
+
+# (degree, distance) per aggressiveness level, from Srinath et al.
+AGGRESSIVENESS_LEVELS: Tuple[Tuple[int, int], ...] = (
+    (1, 4),    # very conservative
+    (1, 8),    # conservative
+    (2, 16),   # middle-of-the-road
+    (4, 32),   # aggressive
+    (4, 64),   # very aggressive
+)
+
+
+class PollutionFilter:
+    """Fixed-size filter of demand lines evicted by prefetch fills."""
+
+    def __init__(self, size_bits: int = 12):
+        self.mask = (1 << size_bits) - 1
+        self.bits = bytearray(1 << size_bits)
+
+    def record_eviction(self, line_addr: int) -> None:
+        self.bits[line_addr & self.mask] = 1
+
+    def check_miss(self, line_addr: int) -> bool:
+        """True if this demand miss was plausibly caused by pollution."""
+        index = line_addr & self.mask
+        if self.bits[index]:
+            self.bits[index] = 0
+            return True
+        return False
+
+
+class FDPController:
+    """Per-core feedback-directed throttle for a stream prefetcher."""
+
+    def __init__(
+        self,
+        prefetcher: StreamPrefetcher,
+        accuracy_high: float = 0.90,
+        accuracy_low: float = 0.40,
+        lateness_threshold: float = 0.01,
+        pollution_threshold: float = 0.005,
+        initial_level: int = 4,
+    ):
+        self.prefetcher = prefetcher
+        self.accuracy_high = accuracy_high
+        self.accuracy_low = accuracy_low
+        self.lateness_threshold = lateness_threshold
+        self.pollution_threshold = pollution_threshold
+        self.level = initial_level
+        self.pollution_filter = PollutionFilter()
+        # Interval counters, reset by ``adjust``.
+        self.sent = 0
+        self.used = 0
+        self.late = 0
+        self.pollution_misses = 0
+        self.demand_misses = 0
+        self._apply()
+
+    def _apply(self) -> None:
+        degree, distance = AGGRESSIVENESS_LEVELS[self.level]
+        self.prefetcher.set_aggressiveness(degree, distance)
+
+    def _step(self, delta: int) -> None:
+        self.level = max(0, min(len(AGGRESSIVENESS_LEVELS) - 1, self.level + delta))
+
+    def adjust(self) -> int:
+        """End-of-interval decision; returns the new level."""
+        sent, used = self.sent, self.used
+        accuracy: Optional[float] = used / sent if sent else None
+        lateness = self.late / used if used else 0.0
+        pollution = (
+            self.pollution_misses / self.demand_misses if self.demand_misses else 0.0
+        )
+        if accuracy is not None:
+            polluting = pollution > self.pollution_threshold
+            late = lateness > self.lateness_threshold
+            if accuracy >= self.accuracy_high:
+                if late:
+                    self._step(+1)
+            elif accuracy >= self.accuracy_low:
+                if polluting:
+                    self._step(-1)
+                elif late:
+                    self._step(+1)
+            else:
+                self._step(-1)
+        self._apply()
+        self.sent = 0
+        self.used = 0
+        self.late = 0
+        self.pollution_misses = 0
+        self.demand_misses = 0
+        return self.level

@@ -1,0 +1,140 @@
+"""Aggressive stream prefetcher, modelled on IBM POWER4/5 (paper §2.3).
+
+Each of the ``num_streams`` entries walks through three states:
+
+1. **allocated** — a miss outside every existing stream records the line
+   address as the start pointer S;
+2. **training** — a subsequent access within ``train_distance`` lines of S
+   fixes the stream direction and establishes the monitoring region
+   [S, S + D·dir] where D is the prefetch distance;
+3. **monitoring** — an access inside the monitoring region issues N
+   (prefetch degree) consecutive prefetches beyond the region's leading
+   edge and shifts the region forward by N lines.
+
+The degree/distance pair is mutable so that FDP (paper §6.12) can throttle
+the aggressiveness at interval boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.prefetch.base import Prefetcher
+
+_ALLOCATED = 0
+_MONITORING = 1
+
+
+class StreamEntry:
+    """One tracked stream."""
+
+    __slots__ = ("state", "start", "direction", "mon_start", "mon_end", "last_use")
+
+    def __init__(self, start: int, now_tick: int):
+        self.state = _ALLOCATED
+        self.start = start
+        self.direction = 0
+        self.mon_start = start
+        self.mon_end = start
+        self.last_use = now_tick
+
+    def contains(self, line_addr: int) -> bool:
+        low, high = self.mon_start, self.mon_end
+        if low > high:
+            low, high = high, low
+        return low <= line_addr <= high
+
+    def near_start(self, line_addr: int, train_distance: int) -> bool:
+        return abs(line_addr - self.start) <= train_distance
+
+
+class StreamPrefetcher(Prefetcher):
+    """POWER4/5-style sequential stream prefetcher."""
+
+    name = "stream"
+
+    def __init__(
+        self,
+        num_streams: int = 32,
+        degree: int = 4,
+        distance: int = 64,
+        train_distance: int = 16,
+    ):
+        self.num_streams = num_streams
+        self.degree = degree
+        self.distance = distance
+        self.train_distance = train_distance
+        self.entries: List[StreamEntry] = []
+        self._tick = 0
+        self._last_triggered: Optional[StreamEntry] = None
+
+    @property
+    def aggressiveness(self):
+        return (self.degree, self.distance)
+
+    def set_aggressiveness(self, degree: int, distance: int) -> None:
+        """Used by FDP to throttle/boost the prefetcher."""
+        self.degree = degree
+        self.distance = distance
+
+    def _find(self, line_addr: int) -> Optional[StreamEntry]:
+        for entry in self.entries:
+            if entry.state == _MONITORING and entry.contains(line_addr):
+                return entry
+            if entry.state == _ALLOCATED and entry.near_start(
+                line_addr, self.train_distance
+            ):
+                return entry
+        return None
+
+    def _allocate(self, line_addr: int) -> None:
+        if len(self.entries) >= self.num_streams:
+            victim = min(self.entries, key=lambda e: e.last_use)
+            self.entries.remove(victim)
+        self.entries.append(StreamEntry(line_addr, self._tick))
+
+    def on_access(self, line_addr, was_hit, pc=0, allocate=True) -> List[int]:
+        self._tick += 1
+        entry = self._find(line_addr)
+        if entry is None:
+            # Only a demand *miss* outside all streams allocates (§2.3); the
+            # only-train policy additionally suppresses allocation (§6.14).
+            if not was_hit and allocate:
+                self._allocate(line_addr)
+            return []
+        entry.last_use = self._tick
+        if entry.state == _ALLOCATED:
+            if line_addr == entry.start:
+                return []
+            entry.direction = 1 if line_addr > entry.start else -1
+            entry.mon_start = entry.start
+            entry.mon_end = entry.start + self.distance * entry.direction
+            entry.state = _MONITORING
+            return []
+        # Monitoring: issue degree prefetches past the leading edge, then
+        # shift the monitoring region forward by the same amount.
+        direction = entry.direction
+        edge = entry.mon_end
+        prefetches = [
+            edge + step * direction for step in range(1, self.degree + 1)
+        ]
+        entry.mon_end += self.degree * direction
+        entry.mon_start += self.degree * direction
+        self._last_triggered = entry
+        return [address for address in prefetches if address >= 0]
+
+    def rewind(self, count: int) -> None:
+        """Roll the last triggered stream back ``count`` lines.
+
+        Called when the memory system rejected the tail of the last
+        candidate batch (MSHR or request buffer full): the monitoring
+        region retreats so the same lines are re-attempted on the next
+        trigger rather than skipped (which would permanently lose
+        coverage, the effect paper §6.1 attributes to full buffers).
+        """
+        entry = self._last_triggered
+        if entry is None or count <= 0 or entry.state != _MONITORING:
+            return
+        retreat = min(count, self.degree) * entry.direction
+        entry.mon_end -= retreat
+        entry.mon_start -= retreat

@@ -1,0 +1,12 @@
+"""System assembly and the event-driven simulator.
+
+:class:`~repro.sim.system.System` wires cores, caches, MSHRs, prefetchers,
+filters, the accuracy tracker and the DRAM controller engine together and
+runs the discrete-event loop.  :func:`~repro.sim.system.simulate` is the
+one-call entry point used by examples and experiments.
+"""
+
+from repro.sim.results import CoreResult, SimResult
+from repro.sim.system import System, simulate
+
+__all__ = ["System", "simulate", "SimResult", "CoreResult"]

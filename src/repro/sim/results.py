@@ -1,0 +1,160 @@
+"""Result containers produced by a simulation run.
+
+``CoreResult`` carries everything the paper's metrics need per core;
+``SimResult`` aggregates the system view (bus traffic, row-buffer hit
+rate, controller counters).  The metric formulas themselves (WS/HS/UF,
+ACC/COV, RBHU, SPL) live in :mod:`repro.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CoreResult:
+    """Per-core outcome of one simulation run."""
+
+    core_id: int
+    benchmark: str
+    instructions: int = 0
+    cycles: int = 0
+    loads: int = 0
+    stall_cycles: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    # Prefetch accounting (paper §4.1 and §5.2).
+    pf_sent: int = 0
+    pf_used: int = 0
+    pf_late: int = 0
+    pf_dropped: int = 0
+    pf_rejected_full: int = 0
+    pf_filtered: int = 0
+    pf_mshr_rejected: int = 0
+    # Bus traffic in cache lines, by category (paper Figure 8).
+    demand_fills: int = 0
+    promoted_fills: int = 0
+    prefetch_fills: int = 0
+    prefetch_fills_used: int = 0
+    runahead_fills: int = 0
+    writeback_fills: int = 0
+    # Row-hit components for RBHU (paper §6.1.1).
+    demand_row_hits: int = 0
+    promoted_row_hits: int = 0
+    useful_prefetch_row_hits: int = 0
+    prefetch_row_hits: int = 0
+    # Optional service-time samples for Figure 4(a).
+    useful_service_times: List[int] = field(default_factory=list)
+    useless_service_times: List[int] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def spl(self) -> float:
+        """Stall cycles per load instruction."""
+        return self.stall_cycles / self.loads if self.loads else 0.0
+
+    @property
+    def mpki(self) -> float:
+        """L2 misses per 1000 instructions."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.l2_misses / self.instructions
+
+    @property
+    def accuracy(self) -> float:
+        """ACC = useful prefetches / prefetches sent (paper §5.2)."""
+        return self.pf_used / self.pf_sent if self.pf_sent else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """COV = useful / (demand requests + useful) (paper §5.2)."""
+        denominator = self.demand_fills + self.pf_used
+        return self.pf_used / denominator if denominator else 0.0
+
+    @property
+    def useful_prefetch_traffic(self) -> int:
+        """Lines transferred for prefetches that proved useful."""
+        return self.promoted_fills + self.prefetch_fills_used
+
+    @property
+    def useless_prefetch_traffic(self) -> int:
+        """Lines transferred for prefetches never used."""
+        return self.prefetch_fills - self.prefetch_fills_used
+
+    @property
+    def total_traffic(self) -> int:
+        return (
+            self.demand_fills
+            + self.promoted_fills
+            + self.prefetch_fills
+            + self.runahead_fills
+            + self.writeback_fills
+        )
+
+    @property
+    def rbhu(self) -> float:
+        """Row-buffer hit rate over useful requests (paper §6.1.1)."""
+        useful_requests = self.demand_fills + self.runahead_fills + self.promoted_fills + self.prefetch_fills_used
+        if not useful_requests:
+            return 0.0
+        useful_hits = (
+            self.demand_row_hits
+            + self.promoted_row_hits
+            + self.useful_prefetch_row_hits
+        )
+        return useful_hits / useful_requests
+
+
+@dataclass
+class SimResult:
+    """System-level outcome of one simulation run."""
+
+    policy: str
+    cores: List[CoreResult]
+    total_cycles: int = 0
+    bus_traffic_lines: int = 0
+    row_buffer_hit_rate: float = 0.0
+    dropped_prefetches: int = 0
+    prefetches_rejected_full: int = 0
+    demand_overflows: int = 0
+    accuracy_history: Optional[List[List[float]]] = None
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    def ipc(self, core_id: int = 0) -> float:
+        return self.cores[core_id].ipc
+
+    def ipcs(self) -> List[float]:
+        return [core.ipc for core in self.cores]
+
+    @property
+    def total_traffic(self) -> int:
+        return sum(core.total_traffic for core in self.cores)
+
+    def traffic_breakdown(self) -> Dict[str, int]:
+        """Bus traffic split the way Figure 8 plots it."""
+        return {
+            "demand": sum(
+                c.demand_fills + c.runahead_fills + c.writeback_fills
+                for c in self.cores
+            ),
+            "pref-useful": sum(c.useful_prefetch_traffic for c in self.cores),
+            "pref-useless": sum(c.useless_prefetch_traffic for c in self.cores),
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """Compact scalar summary for tables and benchmarks."""
+        return {
+            "policy": self.policy,
+            "cycles": self.total_cycles,
+            "ipc_sum": sum(self.ipcs()),
+            "traffic": self.total_traffic,
+            "rbh": self.row_buffer_hit_rate,
+            "dropped": self.dropped_prefetches,
+        }

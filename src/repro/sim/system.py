@@ -1,0 +1,605 @@
+"""Full-system assembly and the discrete-event simulation loop.
+
+The :class:`System` builds the paper's testbed from a
+:class:`~repro.params.SystemConfig` and a list of benchmark profiles (one
+per core), then runs an event-driven loop with five event kinds:
+
+* ``CORE`` — a core reaches its next L2 access;
+* ``RETRY`` — a core retries an access that stalled on a full MSHR file;
+* ``FILL`` — a DRAM service completes and fills the L2;
+* ``TICK`` — a DRAM channel runs a scheduling round;
+* ``INTERVAL`` — the accuracy-sampling interval elapses (PAR update,
+  FDP adjustment).
+
+Model notes (see DESIGN.md §5): L2 hit latency is assumed hidden by the
+out-of-order window; the core stalls only when the ROB fills behind the
+oldest outstanding demand miss.  Prefetches reserve no MSHRs for demands
+beyond ``_DEMAND_MSHR_RESERVE`` entries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.cache.cache import L2Cache
+from repro.cache.mshr import MSHR
+from repro.controller.accuracy import PrefetchAccuracyTracker
+from repro.controller.apd import AdaptivePrefetchDropper
+from repro.controller.engine import DRAMControllerEngine
+from repro.controller.policies import make_policy
+from repro.controller.request import MemRequest
+from repro.core.core import CoreState
+from repro.dram.refresh import RefreshScheduler
+from repro.core.trace import TraceEntry
+from repro.params import SystemConfig
+from repro.prefetch.base import make_prefetcher
+from repro.prefetch.ddpf import DDPFFilter
+from repro.prefetch.fdp import FDPController
+from repro.sim.results import CoreResult, SimResult
+from repro.workloads.profiles import BenchmarkProfile, get_profile
+from repro.workloads.synthetic import SyntheticTraceGenerator
+
+_CORE, _RETRY, _FILL, _TICK, _INTERVAL, _REFRESH = range(6)
+
+# MSHR entries that prefetches may never occupy, kept free for demands.
+_DEMAND_MSHR_RESERVE = 4
+
+# Cores get disjoint line-address spaces (separate processes).
+_CORE_ADDR_SHIFT = 54
+
+ProfileLike = Union[str, BenchmarkProfile]
+
+
+def _offset_trace(generator, offset: int):
+    for entry in generator:
+        yield entry._replace(line_addr=entry.line_addr + offset)
+
+
+class System:
+    """One simulated CMP: cores, caches, prefetchers and the controller."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        benchmarks: Sequence[ProfileLike],
+        seed: int = 0,
+        collect_service_times: bool = False,
+    ):
+        if len(benchmarks) != config.num_cores:
+            raise ValueError(
+                f"{config.num_cores} cores but {len(benchmarks)} benchmarks"
+            )
+        self.config = config
+        self.profiles: List[BenchmarkProfile] = [
+            profile if isinstance(profile, BenchmarkProfile) else get_profile(profile)
+            for profile in benchmarks
+        ]
+        self.seed = seed
+        self.collect_service_times = collect_service_times
+
+        padc = config.padc
+        self.prefetch_enabled = config.prefetcher.enabled and config.policy != "no-pref"
+        self.tracker = PrefetchAccuracyTracker(
+            num_cores=config.num_cores,
+            interval=padc.accuracy_interval,
+            promotion_threshold=padc.promotion_threshold,
+            drop_thresholds=padc.drop_thresholds,
+        )
+        policy = make_policy(
+            config.policy,
+            tracker=self.tracker,
+            use_urgency=padc.use_urgency,
+            use_ranking=padc.use_ranking,
+            num_cores=config.num_cores,
+        )
+        dropper = (
+            AdaptivePrefetchDropper(self.tracker, padc.age_granularity)
+            if config.policy in ("padc", "demand-first-apd")
+            else None
+        )
+        self.engine = DRAMControllerEngine(
+            config.dram, policy, dropper=dropper, on_drop=self._on_drop
+        )
+
+        if config.cache.shared:
+            shared_cache = L2Cache(config.cache)
+            shared_mshr = MSHR(config.cache.mshr_entries)
+            self._caches = [shared_cache] * config.num_cores
+            self._mshrs = [shared_mshr] * config.num_cores
+        else:
+            self._caches = [L2Cache(config.cache) for _ in range(config.num_cores)]
+            self._mshrs = [
+                MSHR(config.cache.mshr_entries) for _ in range(config.num_cores)
+            ]
+
+        self._prefetchers = []
+        self._ddpf: List[Optional[DDPFFilter]] = []
+        self._fdp: List[Optional[FDPController]] = []
+        for core_id in range(config.num_cores):
+            if self.prefetch_enabled:
+                prefetcher = make_prefetcher(config.prefetcher)
+            else:
+                prefetcher = None
+            self._prefetchers.append(prefetcher)
+            filter_kind = config.prefetcher.filter_kind if prefetcher else None
+            self._ddpf.append(DDPFFilter() if filter_kind == "ddpf" else None)
+            self._fdp.append(
+                FDPController(prefetcher) if filter_kind == "fdp" else None
+            )
+
+        self.cores: List[CoreState] = []
+        self.results: List[CoreResult] = []
+        for core_id, profile in enumerate(self.profiles):
+            trace = _offset_trace(
+                SyntheticTraceGenerator(profile, seed=seed + core_id).generate(),
+                (core_id + 1) << _CORE_ADDR_SHIFT,
+            )
+            self.cores.append(
+                CoreState(core_id, config.core, trace, target_accesses=0)
+            )
+            self.results.append(CoreResult(core_id=core_id, benchmark=profile.name))
+
+        self._heap: List = []
+        self._seq = 0
+        self._now = 0
+        self._active_cores = config.num_cores
+        self._tick_pending: List[Optional[int]] = [None] * config.dram.num_channels
+        self._mshr_waiters: Dict[int, List[int]] = {}
+        self._pf_service_pending: List[Dict[int, int]] = [
+            {} for _ in range(config.num_cores)
+        ]
+        self._refresh: List[RefreshScheduler] = [
+            RefreshScheduler.from_dram_config(config.dram)
+            for _ in range(config.dram.num_channels)
+        ]
+
+    # -- event plumbing ------------------------------------------------------
+
+    def _push(self, time: int, kind: int, arg) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, kind, arg))
+
+    def _schedule_tick(self, channel: int, time: int) -> None:
+        pending = self._tick_pending[channel]
+        if pending is not None and pending <= time:
+            return
+        self._tick_pending[channel] = time
+        self._push(time, _TICK, channel)
+
+    # -- public API ------------------------------------------------------------
+
+    def run(
+        self, max_accesses_per_core: int = 20_000, max_cycles: Optional[int] = None
+    ) -> SimResult:
+        """Run the simulation and return the collected results.
+
+        Each core executes ``max_accesses_per_core`` L2 accesses of its
+        trace (the stand-in for the paper's 200M-instruction Pinpoint
+        slices); ``max_cycles`` is a safety bound.
+        """
+        for core in self.cores:
+            core.target_accesses = max_accesses_per_core
+            self._schedule_core_next(core, 0)
+        self._push(self.tracker.interval, _INTERVAL, None)
+        if self.config.dram.refresh_enabled:
+            for channel_id, scheduler in enumerate(self._refresh):
+                self._push(scheduler.next_refresh_after(0), _REFRESH, channel_id)
+
+        heap = self._heap
+        while heap and self._active_cores > 0:
+            time, _seq, kind, arg = heapq.heappop(heap)
+            self._now = time
+            if max_cycles is not None and time > max_cycles:
+                break
+            if kind == _CORE:
+                self._handle_core(arg, time, retry=False)
+            elif kind == _FILL:
+                self._handle_fill(arg, time)
+            elif kind == _TICK:
+                if self._tick_pending[arg] == time:
+                    self._tick_pending[arg] = None
+                self._handle_tick(arg, time)
+            elif kind == _RETRY:
+                self._handle_core(arg, time, retry=True)
+            elif kind == _REFRESH:
+                self._handle_refresh(arg, time)
+            else:
+                self._handle_interval(time)
+        return self._collect(max_cycles)
+
+    # -- core events ----------------------------------------------------------
+
+    def _schedule_core_next(self, core: CoreState, now: int) -> None:
+        if core.accesses_done >= core.target_accesses:
+            self._finish_core(core, now)
+            return
+        entry = core.next_entry()
+        if entry is None:
+            self._finish_core(core, now)
+            return
+        core.pending_entry = entry
+        self._push(now + core.exec_cycles(entry.gap), _CORE, core.core_id)
+
+    def _finish_core(self, core: CoreState, now: int) -> None:
+        if not core.done:
+            core.done = True
+            core.finish_time = max(now, 1)
+            self._active_cores -= 1
+
+    def _handle_core(self, core_id: int, now: int, retry: bool) -> None:
+        core = self.cores[core_id]
+        if core.done:
+            return
+        entry = core.pending_entry
+        if entry is None:
+            return
+        if retry:
+            core.stall_cycles += now - core.stall_start
+            core.stalled = False
+            core.waiting_mshr = False
+        else:
+            core.instructions_issued += entry.gap
+            core.loads += 1
+            core.accesses_done += 1
+
+        cache = self._caches[core_id]
+        mshr = self._mshrs[core_id]
+        line = entry.line_addr
+        result = cache.lookup(line, is_write=entry.is_write)
+        if result.hit:
+            if not retry:
+                core.l2_hits += 1
+            if result.first_use_of_prefetch:
+                self._count_useful(
+                    result.prefetch_core,
+                    line,
+                    row_hit_fill=result.prefetch_row_hit_fill,
+                    late=False,
+                )
+            self._run_prefetcher(core_id, line, True, entry.pc, now)
+        else:
+            if not retry:
+                core.l2_misses += 1
+            fdp = self._fdp[core_id]
+            if fdp is not None:
+                fdp.demand_misses += 1
+                if fdp.pollution_filter.check_miss(line):
+                    fdp.pollution_misses += 1
+            mshr_entry = mshr.get(line)
+            if mshr_entry is not None:
+                request = mshr_entry.request
+                if request.is_prefetch:
+                    request.promote()
+                    mshr_entry.promoted_late = True
+                    self._count_useful(
+                        request.core_id, line, row_hit_fill=None, late=True
+                    )
+                if entry.is_write:
+                    mshr_entry.dirty_on_fill = True
+                mshr_entry.waiters.append(core_id)
+                core.outstanding_demand[line] = core.instructions_issued
+            else:
+                if mshr.full:
+                    core.stalled = True
+                    core.waiting_mshr = True
+                    core.stall_start = now
+                    self._mshr_waiters.setdefault(id(mshr), []).append(core_id)
+                    return
+                request = self.engine.build_request(line, core_id, False, now)
+                mshr_entry = mshr.allocate(line, request)
+                mshr_entry.dirty_on_fill = entry.is_write
+                mshr_entry.waiters.append(core_id)
+                self.engine.enqueue_demand(request)
+                self._schedule_tick(request.channel, now)
+                core.outstanding_demand[line] = core.instructions_issued
+            self._run_prefetcher(core_id, line, False, entry.pc, now)
+
+        core.pending_entry = None
+        if core.rob_blocked():
+            core.stalled = True
+            core.stall_start = now
+            if self.config.core.runahead:
+                self._run_runahead(core, now)
+        else:
+            self._schedule_core_next(core, now)
+
+    # -- prefetch issue ---------------------------------------------------------
+
+    def _run_prefetcher(
+        self, core_id: int, line: int, was_hit: bool, pc: int, now: int
+    ) -> None:
+        prefetcher = self._prefetchers[core_id]
+        if prefetcher is None:
+            return
+        candidates = prefetcher.on_access(line, was_hit, pc=pc)
+        if not candidates:
+            return
+        self._issue_prefetches(core_id, candidates, pc, now)
+
+    def _issue_prefetches(
+        self, core_id: int, candidates, pc: int, now: int
+    ) -> None:
+        cache = self._caches[core_id]
+        mshr = self._mshrs[core_id]
+        ddpf = self._ddpf[core_id]
+        fdp = self._fdp[core_id]
+        stats = self.results[core_id]
+        prefetcher = self._prefetchers[core_id]
+        rejected_tail = 0
+        for index, candidate in enumerate(candidates):
+            if cache.touch_for_prefetcher(candidate) or mshr.contains(candidate):
+                continue
+            if ddpf is not None and not ddpf.allow(candidate, pc):
+                stats.pf_filtered += 1
+                continue
+            if mshr.occupancy >= mshr.capacity - _DEMAND_MSHR_RESERVE:
+                stats.pf_mshr_rejected += len(candidates) - index
+                rejected_tail = len(candidates) - index
+                break
+            request = self.engine.build_request(candidate, core_id, True, now)
+            if self.engine.enqueue_prefetch(request):
+                mshr.allocate(candidate, request)
+                self.tracker.record_sent(core_id)
+                stats.pf_sent += 1
+                if fdp is not None:
+                    fdp.sent += 1
+                self._schedule_tick(request.channel, now)
+            else:
+                stats.pf_rejected_full += len(candidates) - index
+                rejected_tail = len(candidates) - index
+                break
+        if (
+            rejected_tail
+            and prefetcher is not None
+            and self.config.prefetcher.skipless
+        ):
+            # Optional skip-less mode: stream prefetchers re-attempt the
+            # rejected lines on the next trigger instead of dropping them
+            # (the paper's prefetcher drops them, losing coverage).
+            prefetcher.rewind(rejected_tail)
+
+    def _count_useful(
+        self, core_id: int, line: int, row_hit_fill: Optional[bool], late: bool
+    ) -> None:
+        """A prefetch from ``core_id`` proved useful (PUC += 1)."""
+        self.tracker.record_used(core_id)
+        stats = self.results[core_id]
+        stats.pf_used += 1
+        if late:
+            stats.pf_late += 1
+        else:
+            stats.prefetch_fills_used += 1
+            if row_hit_fill:
+                stats.useful_prefetch_row_hits += 1
+            if self.collect_service_times:
+                pending = self._pf_service_pending[core_id]
+                service = pending.pop(line, None)
+                if service is not None:
+                    stats.useful_service_times.append(service)
+        ddpf = self._ddpf[core_id]
+        if ddpf is not None:
+            ddpf.train(line, useful=True)
+        fdp = self._fdp[core_id]
+        if fdp is not None:
+            fdp.used += 1
+            if late:
+                fdp.late += 1
+
+    # -- runahead execution (paper §6.14) ------------------------------------------
+
+    def _run_runahead(self, core: CoreState, now: int) -> None:
+        """Issue future accesses as runahead requests during a stall."""
+        cache = self._caches[core.core_id]
+        mshr = self._mshrs[core.core_id]
+        prefetcher = self._prefetchers[core.core_id]
+        entries = core.peek_ahead(self.config.core.runahead_max_depth)
+        for entry in entries:
+            line = entry.line_addr
+            if cache.touch_for_prefetcher(line) or mshr.contains(line):
+                continue
+            if mshr.occupancy >= mshr.capacity - _DEMAND_MSHR_RESERVE:
+                break
+            request = self.engine.build_request(
+                line, core.core_id, False, now, is_runahead=True
+            )
+            mshr.allocate(line, request)
+            self.engine.enqueue_demand(request)
+            self._schedule_tick(request.channel, now)
+            core.runahead_issued += 1
+            if prefetcher is not None:
+                # Only-train policy: existing streams keep training, no new
+                # allocations (paper §6.14, [18]).
+                candidates = prefetcher.on_access(
+                    line, was_hit=False, pc=entry.pc, allocate=False
+                )
+                if candidates:
+                    self._issue_prefetches(core.core_id, candidates, entry.pc, now)
+
+    # -- DRAM events --------------------------------------------------------------
+
+    def _handle_tick(self, channel: int, now: int) -> None:
+        serviced, next_wake = self.engine.tick(channel, now)
+        for request in serviced:
+            self._push(request.completion, _FILL, request)
+        if next_wake is not None:
+            self._schedule_tick(channel, max(next_wake, now + 1))
+
+    def _handle_fill(self, request: MemRequest, now: int) -> None:
+        core_id = request.core_id
+        mshr = self._mshrs[core_id]
+        cache = self._caches[core_id]
+        stats = self.results[core_id]
+        line = request.line_addr
+        if request.is_write:
+            # Writeback completion: the data left the chip; nothing fills.
+            stats.writeback_fills += 1
+            return
+        mshr_entry = mshr.free(line)
+        row_hit = bool(request.row_hit_service)
+
+        if request.is_prefetch:
+            stats.prefetch_fills += 1
+            if row_hit:
+                stats.prefetch_row_hits += 1
+            if self.collect_service_times:
+                self._pf_service_pending[core_id][line] = now - request.arrival
+        elif request.promoted:
+            stats.promoted_fills += 1
+            if row_hit:
+                stats.promoted_row_hits += 1
+        elif request.is_runahead:
+            stats.runahead_fills += 1
+            if row_hit:
+                stats.demand_row_hits += 1
+        else:
+            stats.demand_fills += 1
+            if row_hit:
+                stats.demand_row_hits += 1
+
+        evicted = cache.fill(
+            line,
+            prefetched=request.is_prefetch,
+            core_id=core_id,
+            row_hit_fill=row_hit,
+            dirty=bool(mshr_entry is not None and mshr_entry.dirty_on_fill),
+        )
+        if evicted is not None:
+            if evicted.dirty:
+                self._issue_writeback(evicted.core_id, evicted.line_addr, now)
+            if evicted.prefetched_unused:
+                self._note_unused_prefetch(evicted.core_id, evicted.line_addr)
+            elif request.is_prefetch:
+                fdp = self._fdp[core_id]
+                if fdp is not None:
+                    fdp.pollution_filter.record_eviction(evicted.line_addr)
+
+        if mshr_entry is not None and mshr_entry.waiters:
+            for waiter_id in set(mshr_entry.waiters):
+                waiter = self.cores[waiter_id]
+                waiter.outstanding_demand.pop(line, None)
+                self._maybe_resume(waiter, now)
+        self._wake_mshr_waiters(mshr, now)
+
+    def _issue_writeback(self, core_id: int, line: int, now: int) -> None:
+        """Send a dirty evicted line back to DRAM.
+
+        Writebacks travel through an (unbounded) write buffer rather than
+        the MSHR file, schedule as demands, and wake nobody on completion.
+        """
+        request = self.engine.build_request(
+            line, core_id, False, now, is_write=True
+        )
+        self.engine.enqueue_demand(request)
+        self._schedule_tick(request.channel, now)
+
+    def _note_unused_prefetch(self, core_id: int, line: int) -> None:
+        """A prefetched line left the cache (or was dropped) unused."""
+        ddpf = self._ddpf[core_id]
+        if ddpf is not None:
+            ddpf.train(line, useful=False)
+        if self.collect_service_times:
+            pending = self._pf_service_pending[core_id]
+            service = pending.pop(line, None)
+            if service is not None:
+                self.results[core_id].useless_service_times.append(service)
+
+    def _maybe_resume(self, core: CoreState, now: int) -> None:
+        if (
+            core.stalled
+            and not core.waiting_mshr
+            and not core.done
+            and not core.rob_blocked()
+        ):
+            core.stall_cycles += now - core.stall_start
+            core.stalled = False
+            self._schedule_core_next(core, now)
+
+    def _wake_mshr_waiters(self, mshr: MSHR, now: int) -> None:
+        waiters = self._mshr_waiters.get(id(mshr))
+        if not waiters or mshr.full:
+            return
+        core_id = waiters.pop(0)
+        self._push(now, _RETRY, core_id)
+
+    def _on_drop(self, request: MemRequest) -> None:
+        """APD dropped a prefetch: invalidate its MSHR entry (paper §4.4)."""
+        core_id = request.core_id
+        self._mshrs[core_id].free(request.line_addr)
+        self.results[core_id].pf_dropped += 1
+        self._note_unused_prefetch(core_id, request.line_addr)
+        self._wake_mshr_waiters(self._mshrs[core_id], self._now)
+
+    def _handle_refresh(self, channel_id: int, now: int) -> None:
+        scheduler = self._refresh[channel_id]
+        done = scheduler.apply(self.engine.channels[channel_id], now)
+        self._schedule_tick(channel_id, done)
+        if self._active_cores > 0:
+            self._push(scheduler.next_refresh_after(now), _REFRESH, channel_id)
+
+    # -- interval events -------------------------------------------------------------
+
+    def _handle_interval(self, now: int) -> None:
+        self.tracker.end_interval()
+        for fdp in self._fdp:
+            if fdp is not None:
+                fdp.adjust()
+        if self._active_cores > 0:
+            self._push(now + self.tracker.interval, _INTERVAL, None)
+
+    # -- results --------------------------------------------------------------------
+
+    def _collect(self, max_cycles: Optional[int]) -> SimResult:
+        end_time = self._now if max_cycles is None else min(self._now, max_cycles)
+        for core, stats in zip(self.cores, self.results):
+            if not core.done:
+                # Charge an unfinished stall up to the end of simulation.
+                if core.stalled:
+                    core.stall_cycles += max(0, end_time - core.stall_start)
+                core.finish_time = max(end_time, 1)
+            stats.instructions = core.instructions_retired
+            stats.cycles = core.finish_time
+            stats.loads = core.loads
+            stats.stall_cycles = core.stall_cycles
+            stats.l2_hits = core.l2_hits
+            stats.l2_misses = core.l2_misses
+        engine_stats = self.engine.stats
+        total_row_hits = sum(
+            bank.hits for channel in self.engine.channels for bank in channel.banks
+        )
+        total_accesses = sum(
+            bank.total_accesses
+            for channel in self.engine.channels
+            for bank in channel.banks
+        )
+        return SimResult(
+            policy=self.config.policy,
+            cores=self.results,
+            total_cycles=max((core.finish_time for core in self.cores), default=0),
+            bus_traffic_lines=self.engine.total_lines_transferred(),
+            row_buffer_hit_rate=(
+                total_row_hits / total_accesses if total_accesses else 0.0
+            ),
+            dropped_prefetches=engine_stats.dropped_prefetches,
+            prefetches_rejected_full=engine_stats.prefetches_rejected_full,
+            demand_overflows=engine_stats.demand_overflows,
+            accuracy_history=[list(h) for h in self.tracker.history],
+        )
+
+
+def simulate(
+    config: SystemConfig,
+    benchmarks: Sequence[ProfileLike],
+    max_accesses_per_core: int = 20_000,
+    seed: int = 0,
+    max_cycles: Optional[int] = None,
+    collect_service_times: bool = False,
+) -> SimResult:
+    """Build a :class:`System` and run it — the one-call entry point."""
+    system = System(
+        config,
+        benchmarks,
+        seed=seed,
+        collect_service_times=collect_service_times,
+    )
+    return system.run(max_accesses_per_core, max_cycles=max_cycles)

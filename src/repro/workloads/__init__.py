@@ -1,0 +1,31 @@
+"""Synthetic SPEC CPU 2000/2006-like workloads.
+
+The paper drives its simulator with Pinpoint traces of 55 SPEC
+benchmarks.  Those traces are proprietary, so this package synthesizes
+L2-access traces from per-benchmark *profiles* whose knobs reproduce the
+properties PADC's results depend on (see DESIGN.md §2): memory intensity
+(APKI), sequential-run length (which controls both row-buffer locality
+and stream-prefetch accuracy), working-set size, temporal reuse, and
+phase behaviour (for milc's Figure 4(b) accuracy phases).
+"""
+
+from repro.workloads.profiles import (
+    ALL_BENCHMARKS,
+    BenchmarkProfile,
+    get_profile,
+    profiles_by_class,
+)
+from repro.workloads.suite import make_trace, named_mix, random_mix, workload_mixes
+from repro.workloads.synthetic import SyntheticTraceGenerator
+
+__all__ = [
+    "BenchmarkProfile",
+    "ALL_BENCHMARKS",
+    "get_profile",
+    "profiles_by_class",
+    "SyntheticTraceGenerator",
+    "make_trace",
+    "named_mix",
+    "random_mix",
+    "workload_mixes",
+]

@@ -1,0 +1,48 @@
+"""Suite helpers: build traces and multiprogrammed workload mixes.
+
+Mirrors the paper's methodology (§5.1): multiprogrammed workloads are
+random combinations drawn from the 55-benchmark population; the paper
+uses 54 / 32 / 21 mixes for 2 / 4 / 8 cores.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Union
+
+import numpy as np
+
+from repro.core.trace import TraceEntry
+from repro.workloads.profiles import ALL_BENCHMARKS, BenchmarkProfile, get_profile
+from repro.workloads.synthetic import SyntheticTraceGenerator
+
+ProfileLike = Union[str, BenchmarkProfile]
+
+
+def _resolve(profile: ProfileLike) -> BenchmarkProfile:
+    if isinstance(profile, BenchmarkProfile):
+        return profile
+    return get_profile(profile)
+
+
+def make_trace(profile: ProfileLike, seed: int = 0) -> Iterator[TraceEntry]:
+    """Build the (infinite) trace iterator for one benchmark."""
+    return SyntheticTraceGenerator(_resolve(profile), seed=seed).generate()
+
+
+def random_mix(num_cores: int, seed: int = 0) -> List[BenchmarkProfile]:
+    """Draw one multiprogrammed workload of ``num_cores`` benchmarks."""
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(ALL_BENCHMARKS), size=num_cores, replace=False)
+    return [ALL_BENCHMARKS[int(i)] for i in picks]
+
+
+def workload_mixes(
+    num_cores: int, count: int, seed: int = 0
+) -> List[List[BenchmarkProfile]]:
+    """Draw ``count`` distinct random workload mixes (paper §5.1)."""
+    return [random_mix(num_cores, seed=seed + 1000 * index) for index in range(count)]
+
+
+def named_mix(names: Sequence[str]) -> List[BenchmarkProfile]:
+    """Resolve a list of benchmark names into profiles."""
+    return [_resolve(name) for name in names]

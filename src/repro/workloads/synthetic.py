@@ -1,0 +1,117 @@
+"""Synthetic L2-access trace generation.
+
+The generator emits an infinite stream of :class:`TraceEntry` tuples from
+a :class:`BenchmarkProfile`.  Two access populations are interleaved:
+
+* **sequential runs** — ``num_streams`` concurrent contexts that each walk
+  line addresses upward one at a time; after a geometrically-distributed
+  run length the context jumps to a fresh random base.  Long runs are what
+  stream prefetchers love; short runs are what makes them issue useless,
+  far-ahead prefetches.
+* **random accesses** — uniform over a working set, optionally re-touching
+  recently used lines (temporal reuse → L2 hits).
+
+All randomness comes from a seeded ``numpy`` Generator; random draws are
+batched for speed.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.trace import TraceEntry
+from repro.workloads.profiles import BenchmarkProfile
+
+# Streams live in disjoint 1G-line regions so contexts never collide.
+_REGION_BITS = 30
+_CHUNK = 4096
+
+
+class SyntheticTraceGenerator:
+    """Deterministic, seeded trace generator for one benchmark profile."""
+
+    def __init__(self, profile: BenchmarkProfile, seed: int = 0):
+        self.profile = profile
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return self.generate()
+
+    def generate(self) -> Iterator[TraceEntry]:
+        """Yield an infinite stream of trace entries."""
+        profile = self.profile
+        # zlib.crc32 is stable across processes (str.hash is randomized).
+        rng = np.random.default_rng((self.seed, zlib.crc32(profile.name.encode())))
+        gap_p = min(1.0, profile.apki / 1000.0)
+        ws_base = int(rng.integers(0, 1 << _REGION_BITS)) << 8
+        stream_pos = [
+            self._fresh_base(rng, index) for index in range(profile.num_streams)
+        ]
+        stream_left = [
+            self._run_len(rng, profile.run_length)
+            for _ in range(profile.num_streams)
+        ]
+        recent: deque = deque(maxlen=64)
+        access_index = 0
+        in_bad_phase = False
+        while True:
+            # Batched random draws for one chunk of accesses.
+            gaps = rng.geometric(gap_p, _CHUNK) - 1
+            kind_draw = rng.random(_CHUNK)
+            stream_pick = rng.integers(0, profile.num_streams, _CHUNK)
+            ws_pick = rng.integers(0, profile.ws_lines, _CHUNK)
+            reuse_draw = rng.random(_CHUNK)
+            reuse_pick = rng.integers(0, 64, _CHUNK)
+            hot_draw = rng.random(_CHUNK)
+            write_draw = rng.random(_CHUNK)
+            hot_pick = (
+                rng.integers(0, profile.hot_lines, _CHUNK)
+                if profile.hot_lines
+                else None
+            )
+            for i in range(_CHUNK):
+                if profile.phase_period:
+                    phase = (access_index // profile.phase_period) % (
+                        1 + profile.bad_phase_ratio
+                    )
+                    in_bad_phase = phase != 0
+                if in_bad_phase:
+                    stream_fraction = profile.bad_phase_stream_fraction
+                    run_length = profile.bad_phase_run_length
+                else:
+                    stream_fraction = profile.stream_fraction
+                    run_length = profile.run_length
+                if kind_draw[i] < stream_fraction:
+                    context = int(stream_pick[i])
+                    line = stream_pos[context]
+                    stream_pos[context] += 1
+                    stream_left[context] -= 1
+                    if stream_left[context] <= 0:
+                        stream_pos[context] = self._fresh_base(rng, context)
+                        stream_left[context] = self._run_len(rng, run_length)
+                    pc = 16 + context
+                else:
+                    if recent and reuse_draw[i] < profile.reuse_fraction:
+                        line = recent[int(reuse_pick[i]) % len(recent)]
+                    elif hot_pick is not None and hot_draw[i] < profile.hot_fraction:
+                        line = ws_base + int(hot_pick[i])
+                    else:
+                        line = ws_base + int(ws_pick[i])
+                    pc = 8 + (line & 0x7)
+                recent.append(line)
+                access_index += 1
+                is_write = bool(write_draw[i] < profile.write_fraction)
+                yield TraceEntry(int(gaps[i]), line, pc, is_write)
+
+    @staticmethod
+    def _fresh_base(rng: np.random.Generator, context: int) -> int:
+        region = (context + 1) << (_REGION_BITS + 4)
+        return region + (int(rng.integers(0, 1 << _REGION_BITS)) << 4)
+
+    @staticmethod
+    def _run_len(rng: np.random.Generator, mean: int) -> int:
+        return max(2, int(rng.geometric(1.0 / mean)))

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.params import (
+    CacheConfig,
+    CoreConfig,
+    DRAMConfig,
+    DRAMTimings,
+    PADCConfig,
+    PrefetcherConfig,
+    SystemConfig,
+    baseline_config,
+)
+
+
+@pytest.fixture
+def timings():
+    return DRAMTimings()
+
+
+@pytest.fixture
+def dram_config():
+    return DRAMConfig()
+
+
+@pytest.fixture
+def small_cache_config():
+    """A tiny cache so eviction paths are easy to exercise."""
+    return CacheConfig(size_bytes=8 * 1024, associativity=2, mshr_entries=8)
+
+
+@pytest.fixture
+def single_core_config():
+    return baseline_config(1, policy="demand-first")
+
+
+@pytest.fixture
+def quad_core_config():
+    return baseline_config(4, policy="padc")
+
+
+def tiny_system_config(policy="padc", num_cores=1, **kwargs):
+    """A deliberately small system for fast integration tests."""
+    return SystemConfig(
+        num_cores=num_cores,
+        core=CoreConfig(rob_size=64, retire_width=4, **kwargs),
+        cache=CacheConfig(size_bytes=32 * 1024, associativity=4, mshr_entries=8),
+        dram=DRAMConfig(request_buffer_size=16),
+        prefetcher=PrefetcherConfig(),
+        padc=PADCConfig(accuracy_interval=5_000),
+        policy=policy,
+    )
+
+
+@pytest.fixture
+def tiny_config():
+    return tiny_system_config()

@@ -1,0 +1,40 @@
+"""Tests for the ablation experiments (registration and tiny runs)."""
+
+from repro.experiments import REGISTRY, Scale, run_experiment
+
+TINY = Scale(accesses=1_200)
+
+
+class TestRegistration:
+    def test_all_ablations_registered(self):
+        for name in (
+            "ablation_drop_threshold",
+            "ablation_promotion",
+            "ablation_interval",
+            "ablation_aggressiveness",
+        ):
+            assert name in REGISTRY
+
+
+class TestDropThresholdAblation:
+    def test_variants_present_and_ordered(self):
+        result = run_experiment("ablation_drop_threshold", TINY)
+        rows = {row["variant"]: row for row in result.rows}
+        assert rows["no-drop (aps)"]["dropped"] == 0
+        assert rows["fixed-100"]["dropped"] >= rows["fixed-100K"]["dropped"]
+
+
+class TestPromotionAblation:
+    def test_sweep_covers_paper_value(self):
+        result = run_experiment("ablation_promotion", TINY)
+        thresholds = [row["promotion_threshold"] for row in result.rows]
+        assert 0.85 in thresholds
+        assert all(row["ws"] > 0 for row in result.rows)
+
+
+class TestAggressivenessAblation:
+    def test_both_policies_at_every_setting(self):
+        result = run_experiment("ablation_aggressiveness", TINY)
+        assert len(result.rows) == 8
+        degrees = {row["degree"] for row in result.rows}
+        assert degrees == {1, 2, 4, 8}

@@ -1,0 +1,64 @@
+"""Tests for the analysis/report helpers."""
+
+from repro.analysis import ascii_bar_chart, compare_policies, run_report
+from repro.params import baseline_config
+from repro.sim import simulate
+
+
+class TestAsciiBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = ascii_bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_labels_aligned(self):
+        chart = ascii_bar_chart({"short": 1.0, "a-long-label": 1.0})
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_empty(self):
+        assert ascii_bar_chart({}) == "(no data)"
+
+    def test_zero_peak(self):
+        assert "0.000" in ascii_bar_chart({"x": 0.0})
+
+    def test_unit_suffix(self):
+        assert "1.000x" in ascii_bar_chart({"x": 1.0}, unit="x")
+
+
+class TestRunReport:
+    def test_single_core_report(self):
+        result = simulate(
+            baseline_config(1, policy="padc"), ["swim"], max_accesses_per_core=800
+        )
+        report = run_report(result)
+        assert "swim_00" in report
+        assert "traffic" in report
+        assert "WS=" not in report  # no alone IPCs given
+
+    def test_multicore_report_with_speedups(self):
+        result = simulate(
+            baseline_config(2, policy="padc"),
+            ["swim", "milc"],
+            max_accesses_per_core=800,
+        )
+        report = run_report(result, alone_ipcs=[1.0, 1.0])
+        assert "WS=" in report and "UF=" in report
+
+
+class TestComparePolicies:
+    def test_compare_runs_and_tabulates(self):
+        results, table = compare_policies(
+            ["swim"], policies=("no-pref", "padc"), accesses=600
+        )
+        assert set(results) == {"no-pref", "padc"}
+        assert "padc" in table
+        assert "IPC(sum)" in table
+
+    def test_custom_base_config(self):
+        base = baseline_config(1, policy="demand-first", prefetcher_kind="stride")
+        results, _table = compare_policies(
+            ["leslie3d"], policies=("padc",), accesses=500, config_base=base
+        )
+        assert results["padc"].policy == "padc"

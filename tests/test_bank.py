@@ -1,0 +1,87 @@
+"""Tests for the DRAM bank / row-buffer model."""
+
+from repro.dram.bank import Bank, RowBufferState
+from repro.params import DRAMTimings
+
+
+def make_bank():
+    return Bank(DRAMTimings())
+
+
+class TestClassification:
+    def test_initially_closed(self):
+        assert make_bank().classify(5) is RowBufferState.CLOSED
+
+    def test_hit_after_open(self):
+        bank = make_bank()
+        bank.record_access(5)
+        assert bank.classify(5) is RowBufferState.HIT
+        assert bank.is_row_hit(5)
+
+    def test_conflict_on_other_row(self):
+        bank = make_bank()
+        bank.record_access(5)
+        assert bank.classify(6) is RowBufferState.CONFLICT
+        assert not bank.is_row_hit(6)
+
+
+class TestLatency:
+    def test_closed_latency(self, timings):
+        assert make_bank().access_latency(1) == timings.row_closed_latency
+
+    def test_hit_latency(self, timings):
+        bank = make_bank()
+        bank.record_access(1)
+        assert bank.access_latency(1) == timings.row_hit_latency
+
+    def test_conflict_latency(self, timings):
+        bank = make_bank()
+        bank.record_access(1)
+        assert bank.access_latency(2) == timings.row_conflict_latency
+
+    def test_pre_burst_work_pipelined_hit_is_free(self):
+        bank = make_bank()
+        bank.record_access(1)
+        assert bank.pre_burst_work(1, pipelined_cas=True) == 0
+
+    def test_pre_burst_work_serialized_hit_costs_cl(self, timings):
+        bank = make_bank()
+        bank.record_access(1)
+        assert bank.pre_burst_work(1, pipelined_cas=False) == timings.cl
+
+    def test_pre_burst_work_conflict(self, timings):
+        bank = make_bank()
+        bank.record_access(1)
+        assert (
+            bank.pre_burst_work(2, pipelined_cas=True)
+            == timings.t_rp + timings.t_rcd
+        )
+
+
+class TestStateTransitions:
+    def test_record_access_opens_row(self):
+        bank = make_bank()
+        bank.record_access(3)
+        assert bank.open_row == 3
+
+    def test_precharge_closes_row(self):
+        bank = make_bank()
+        bank.record_access(3)
+        bank.precharge()
+        assert bank.open_row is None
+        assert bank.classify(3) is RowBufferState.CLOSED
+
+    def test_counters(self):
+        bank = make_bank()
+        assert bank.record_access(1) is RowBufferState.CLOSED
+        assert bank.record_access(1) is RowBufferState.HIT
+        assert bank.record_access(2) is RowBufferState.CONFLICT
+        assert bank.record_access(2) is RowBufferState.HIT
+        assert bank.hits == 2
+        assert bank.closed_accesses == 1
+        assert bank.conflicts == 1
+        assert bank.total_accesses == 4
+        assert bank.row_hit_rate() == 0.5
+
+    def test_row_hit_rate_empty(self):
+        assert make_bank().row_hit_rate() == 0.0

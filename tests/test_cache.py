@@ -1,0 +1,156 @@
+"""Tests for the L2 cache model (LRU, prefetch bits, eviction feedback)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import L2Cache
+from repro.params import CacheConfig
+
+
+def make_cache(sets=4, assoc=2):
+    return L2Cache(
+        CacheConfig(size_bytes=sets * assoc * 64, associativity=assoc)
+    )
+
+
+class TestLookup:
+    def test_miss_on_empty(self):
+        cache = make_cache()
+        assert not cache.lookup(0x10).hit
+        assert cache.demand_misses == 1
+
+    def test_hit_after_fill(self):
+        cache = make_cache()
+        cache.fill(0x10, prefetched=False, core_id=0)
+        assert cache.lookup(0x10).hit
+        assert cache.demand_hits == 1
+
+    def test_contains_and_probe_do_not_count(self):
+        cache = make_cache()
+        cache.fill(0x10, prefetched=False, core_id=0)
+        assert cache.contains(0x10)
+        assert cache.touch_for_prefetcher(0x10)
+        assert cache.demand_hits == 0
+        assert cache.demand_misses == 0
+
+    def test_hit_rate(self):
+        cache = make_cache()
+        cache.fill(0x10, prefetched=False, core_id=0)
+        cache.lookup(0x10)
+        cache.lookup(0x20)
+        assert cache.hit_rate() == 0.5
+
+
+class TestPrefetchBit:
+    def test_first_use_reports_prefetch_metadata(self):
+        cache = make_cache()
+        cache.fill(0x10, prefetched=True, core_id=3, row_hit_fill=True)
+        result = cache.lookup(0x10)
+        assert result.hit
+        assert result.first_use_of_prefetch
+        assert result.prefetch_core == 3
+        assert result.prefetch_row_hit_fill
+        assert cache.useful_prefetch_hits == 1
+
+    def test_second_use_is_plain_hit(self):
+        cache = make_cache()
+        cache.fill(0x10, prefetched=True, core_id=0)
+        cache.lookup(0x10)
+        result = cache.lookup(0x10)
+        assert result.hit
+        assert not result.first_use_of_prefetch
+        assert cache.useful_prefetch_hits == 1
+
+    def test_demand_fill_never_reports_prefetch(self):
+        cache = make_cache()
+        cache.fill(0x10, prefetched=False, core_id=0)
+        assert not cache.lookup(0x10).first_use_of_prefetch
+
+
+class TestEviction:
+    def test_lru_victim(self):
+        cache = make_cache(sets=1, assoc=2)
+        cache.fill(0, prefetched=False, core_id=0)
+        cache.fill(1, prefetched=False, core_id=0)
+        cache.lookup(0)  # 0 becomes MRU
+        evicted = cache.fill(2, prefetched=False, core_id=0)
+        assert evicted is not None
+        assert evicted.line_addr == 1
+
+    def test_eviction_reports_unused_prefetch(self):
+        cache = make_cache(sets=1, assoc=1)
+        cache.fill(0, prefetched=True, core_id=5)
+        evicted = cache.fill(1, prefetched=False, core_id=0)
+        assert evicted.prefetched_unused
+        assert evicted.core_id == 5
+
+    def test_used_prefetch_not_reported_unused(self):
+        cache = make_cache(sets=1, assoc=1)
+        cache.fill(0, prefetched=True, core_id=0)
+        cache.lookup(0)
+        evicted = cache.fill(1, prefetched=False, core_id=0)
+        assert not evicted.prefetched_unused
+
+    def test_redundant_fill_keeps_line(self):
+        cache = make_cache(sets=1, assoc=1)
+        cache.fill(0, prefetched=False, core_id=0)
+        assert cache.fill(0, prefetched=True, core_id=0) is None
+        assert cache.resident_lines == 1
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.fill(0x10, prefetched=False, core_id=0)
+        assert cache.invalidate(0x10)
+        assert not cache.contains(0x10)
+        assert not cache.invalidate(0x10)
+
+
+class TestSetMapping:
+    def test_lines_map_to_distinct_sets(self):
+        cache = make_cache(sets=4, assoc=1)
+        for line in range(4):
+            cache.fill(line, prefetched=False, core_id=0)
+        assert cache.resident_lines == 4
+
+    def test_same_set_conflict(self):
+        cache = make_cache(sets=4, assoc=1)
+        cache.fill(0, prefetched=False, core_id=0)
+        evicted = cache.fill(4, prefetched=False, core_id=0)
+        assert evicted is not None and evicted.line_addr == 0
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        cache = make_cache(sets=8, assoc=2)
+        for line in lines:
+            cache.fill(line, prefetched=False, core_id=0)
+            assert cache.resident_lines <= 16
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_most_recent_fill_always_resident(self, lines):
+        cache = make_cache(sets=8, assoc=2)
+        for line in lines:
+            cache.fill(line, prefetched=False, core_id=0)
+            assert cache.contains(line)
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 127)),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stats_consistency(self, operations):
+        cache = make_cache(sets=8, assoc=2)
+        for is_fill, line in operations:
+            if is_fill:
+                cache.fill(line, prefetched=False, core_id=0)
+            else:
+                cache.lookup(line)
+        assert cache.demand_hits + cache.demand_misses == sum(
+            1 for is_fill, _ in operations if not is_fill
+        )

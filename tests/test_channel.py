@@ -1,0 +1,109 @@
+"""Tests for channel-level service timing (bank work, bus queueing)."""
+
+import pytest
+
+from repro.dram.bank import RowBufferState
+from repro.dram.channel import Channel
+from repro.params import DRAMConfig, DRAMTimings
+
+PIPE = DRAMTimings(pipelined_cas=True)
+SERIAL = DRAMTimings(pipelined_cas=False)
+
+
+def make_channel(timings=PIPE, banks=8):
+    return Channel(DRAMConfig(timings=timings, banks_per_channel=banks))
+
+
+class TestPipelinedTiming:
+    def test_isolated_row_closed_access(self):
+        channel = make_channel()
+        state, completion = channel.service(0, row=1, now=0)
+        assert state is RowBufferState.CLOSED
+        # tRCD work + burst + CL pipe delay.
+        assert completion == PIPE.t_rcd + PIPE.burst + PIPE.cl
+
+    def test_row_hits_stream_at_burst_rate(self):
+        """Back-to-back row hits deliver one line per burst time."""
+        channel = make_channel()
+        channel.service(0, row=1, now=0)
+        free = channel.banks[0].busy_until
+        _, first = channel.service(0, row=1, now=free)
+        _, second = channel.service(0, row=1, now=free + PIPE.burst)
+        assert second - first == PIPE.burst
+
+    def test_conflict_pays_precharge_and_activate(self):
+        channel = make_channel()
+        channel.service(0, row=1, now=0)
+        free = channel.banks[0].busy_until
+        state, completion = channel.service(0, row=2, now=free)
+        assert state is RowBufferState.CONFLICT
+        assert completion == free + PIPE.t_rp + PIPE.t_rcd + PIPE.burst + PIPE.cl
+
+    def test_bus_serializes_across_banks(self):
+        """Two simultaneous bursts from different banks queue on the bus."""
+        channel = make_channel()
+        _, first = channel.service(0, row=1, now=0)
+        _, second = channel.service(1, row=1, now=0)
+        assert second - first == PIPE.burst
+
+    def test_bus_granted_in_scheduling_order(self):
+        """A later-scheduled burst never overtakes an earlier one.
+
+        This is the paper's Figure 2 service model: the scheduled
+        row-conflict occupies the DRAM system until its data completes,
+        so scheduling order carries the performance consequences.
+        """
+        channel = make_channel()
+        channel.service(0, row=1, now=0)       # opens row 1 on bank 0
+        free0 = channel.banks[0].busy_until
+        _, conflict = channel.service(0, row=2, now=free0)
+        _, later_hit = channel.service(1, row=1, now=free0)
+        assert later_hit > conflict - PIPE.cl  # burst follows the conflict's
+
+
+class TestSerializedTiming:
+    def test_row_hit_occupies_bank_for_cl(self):
+        channel = make_channel(timings=SERIAL)
+        channel.service(0, row=1, now=0)
+        free = channel.banks[0].busy_until
+        _, completion = channel.service(0, row=1, now=free)
+        assert completion == free + SERIAL.cl + SERIAL.burst
+
+    def test_no_cl_pipe_delay_after_burst(self):
+        channel = make_channel(timings=SERIAL)
+        _, completion = channel.service(0, row=1, now=0)
+        assert completion == SERIAL.t_rcd + SERIAL.cl + SERIAL.burst
+
+
+class TestChannelBookkeeping:
+    def test_busy_bank_rejected(self):
+        channel = make_channel()
+        channel.service(0, row=1, now=0)
+        with pytest.raises(ValueError):
+            channel.service(0, row=1, now=0)
+
+    def test_bank_free_predicate(self):
+        channel = make_channel()
+        assert channel.bank_free(0, now=0)
+        channel.service(0, row=1, now=0)
+        assert not channel.bank_free(0, now=1)
+        assert channel.bank_free(0, now=channel.banks[0].busy_until)
+
+    def test_lines_transferred_counts(self):
+        channel = make_channel()
+        channel.service(0, row=1, now=0)
+        channel.service(1, row=1, now=0)
+        assert channel.lines_transferred == 2
+
+    def test_row_hit_rate_aggregates_banks(self):
+        channel = make_channel()
+        channel.service(0, row=1, now=0)
+        free = channel.banks[0].busy_until
+        channel.service(0, row=1, now=free)
+        assert channel.row_hit_rate() == 0.5
+
+    def test_next_bank_free_time(self):
+        channel = make_channel()
+        channel.service(0, row=1, now=0)
+        assert channel.next_bank_free_time([0]) == channel.banks[0].busy_until
+        assert channel.next_bank_free_time([1]) == 0

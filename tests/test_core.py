@@ -1,0 +1,104 @@
+"""Tests for the core model (trace consumption, ROB stall predicate)."""
+
+from repro.core.core import CoreState
+from repro.core.trace import TraceEntry, trace_from_tuples
+from repro.params import CoreConfig
+
+
+def make_core(entries, rob_size=64, width=4):
+    trace = iter([TraceEntry(*entry) for entry in entries])
+    return CoreState(
+        0, CoreConfig(rob_size=rob_size, retire_width=width), trace, 100
+    )
+
+
+class TestTraceConsumption:
+    def test_next_entry_in_order(self):
+        core = make_core([(10, 1, 0), (20, 2, 0)])
+        assert core.next_entry() == TraceEntry(10, 1, 0)
+        assert core.next_entry() == TraceEntry(20, 2, 0)
+        assert core.next_entry() is None
+
+    def test_peek_ahead_preserves_entries(self):
+        core = make_core([(1, 1, 0), (2, 2, 0), (3, 3, 0)])
+        ahead = core.peek_ahead(2)
+        assert list(ahead) == [TraceEntry(1, 1, 0), TraceEntry(2, 2, 0)]
+        assert core.next_entry() == TraceEntry(1, 1, 0)
+
+    def test_peek_ahead_beyond_trace_end(self):
+        core = make_core([(1, 1, 0)])
+        assert len(core.peek_ahead(10)) == 1
+
+
+class TestExecCycles:
+    def test_full_width(self):
+        core = make_core([], width=4)
+        assert core.exec_cycles(8) == 2
+
+    def test_rounds_up(self):
+        core = make_core([], width=4)
+        assert core.exec_cycles(9) == 3
+
+    def test_zero_gap(self):
+        core = make_core([], width=4)
+        assert core.exec_cycles(0) == 0
+
+
+class TestROBBlocking:
+    def test_not_blocked_without_misses(self):
+        core = make_core([], rob_size=64)
+        core.instructions_issued = 1000
+        assert not core.rob_blocked()
+
+    def test_blocked_when_window_exhausted(self):
+        core = make_core([], rob_size=64)
+        core.outstanding_demand[0x10] = 100
+        core.instructions_issued = 164
+        assert core.rob_blocked()
+
+    def test_not_blocked_within_window(self):
+        core = make_core([], rob_size=64)
+        core.outstanding_demand[0x10] = 100
+        core.instructions_issued = 150
+        assert not core.rob_blocked()
+
+    def test_oldest_miss_governs(self):
+        core = make_core([], rob_size=64)
+        core.outstanding_demand[0x10] = 100
+        core.outstanding_demand[0x20] = 160
+        core.instructions_issued = 164
+        assert core.rob_blocked()
+        del core.outstanding_demand[0x10]
+        assert not core.rob_blocked()
+
+
+class TestResults:
+    def test_ipc_counts_loads_as_instructions(self):
+        core = make_core([])
+        core.instructions_issued = 900
+        core.accesses_done = 100
+        core.finish_time = 500
+        assert core.instructions_retired == 1000
+        assert core.ipc() == 2.0
+
+    def test_spl(self):
+        core = make_core([])
+        core.stall_cycles = 300
+        core.loads = 100
+        assert core.spl() == 3.0
+
+    def test_spl_no_loads(self):
+        assert make_core([]).spl() == 0.0
+
+    def test_ipc_unfinished(self):
+        assert make_core([]).ipc() == 0.0
+
+
+class TestTraceAdapter:
+    def test_two_tuples(self):
+        entries = list(trace_from_tuples([(5, 100), (6, 200)]))
+        assert entries == [TraceEntry(5, 100, 0), TraceEntry(6, 200, 0)]
+
+    def test_three_tuples(self):
+        entries = list(trace_from_tuples([(5, 100, 7)]))
+        assert entries == [TraceEntry(5, 100, 7)]

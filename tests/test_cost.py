@@ -1,0 +1,71 @@
+"""Tests for the hardware cost model — must match paper Tables 1-2 exactly."""
+
+import pytest
+
+from repro.controller.cost import cost_as_fraction_of_l2, padc_storage_cost
+
+
+class TestPaperTable2:
+    """The 4-core system of the paper: 512KB L2/core, 128-entry buffer."""
+
+    @pytest.fixture
+    def cost(self):
+        return padc_storage_cost(
+            num_cores=4, cache_lines_per_core=8192, request_buffer_entries=128
+        )
+
+    def test_p_bits(self, cost):
+        assert cost.prefetch_bits == 32_896
+
+    def test_psc_puc_par(self, cost):
+        assert cost.psc_bits == 64
+        assert cost.puc_bits == 64
+        assert cost.par_bits == 32
+
+    def test_urgent_bits(self, cost):
+        assert cost.urgent_bits == 128
+
+    def test_core_id_bits(self, cost):
+        assert cost.core_id_bits == 256
+
+    def test_age_bits(self, cost):
+        assert cost.age_bits == 1_280
+
+    def test_total_is_34720_bits(self, cost):
+        assert cost.total_bits == 34_720
+
+    def test_total_is_about_4_25_kb(self, cost):
+        assert cost.total_bits / 8192 == pytest.approx(4.25, abs=0.02)
+
+    def test_without_p_bits_is_1824(self, cost):
+        assert cost.total_bits_without_p_bits == 1_824
+
+    def test_fraction_of_l2_is_0_2_percent(self, cost):
+        fraction = cost_as_fraction_of_l2(cost, 4 * 512 * 1024)
+        assert fraction == pytest.approx(0.002, abs=0.0002)
+
+
+class TestScaling:
+    def test_single_core(self):
+        cost = padc_storage_cost(
+            num_cores=1, cache_lines_per_core=16384, request_buffer_entries=64
+        )
+        assert cost.prefetch_bits == 16384 + 64
+        assert cost.core_id_bits == 64  # 1-bit ID floor
+
+    def test_ranking_adds_rank_fields(self):
+        plain = padc_storage_cost(num_cores=4)
+        ranked = padc_storage_cost(num_cores=4, with_ranking=True)
+        assert ranked.total_bits > plain.total_bits
+        assert ranked.rank_bits == 128 * 2
+        assert ranked.rank_counter_bits == 4 * 16
+
+    def test_as_dict_sums_to_total(self):
+        cost = padc_storage_cost(num_cores=8, request_buffer_entries=256)
+        breakdown = cost.as_dict()
+        total = breakdown.pop("total")
+        assert sum(breakdown.values()) == total
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            padc_storage_cost(num_cores=0)

@@ -1,0 +1,198 @@
+"""Tests for the DRAM controller engine (buffers, scheduling, dropping)."""
+
+import pytest
+
+from repro.controller.accuracy import PrefetchAccuracyTracker
+from repro.controller.apd import AdaptivePrefetchDropper
+from repro.controller.engine import DRAMControllerEngine
+from repro.controller.policies import make_policy
+from repro.params import DRAMConfig
+
+
+def make_engine(policy="demand-first", buffer_size=8, dropper=None, on_drop=None,
+                open_row=True, channels=1):
+    config = DRAMConfig(
+        request_buffer_size=buffer_size,
+        open_row_policy=open_row,
+        num_channels=channels,
+    )
+    return DRAMControllerEngine(
+        config, make_policy(policy), dropper=dropper, on_drop=on_drop
+    )
+
+
+def add_request(engine, line, is_prefetch=False, now=0, core=0):
+    request = engine.build_request(line, core, is_prefetch, now)
+    if is_prefetch:
+        accepted = engine.enqueue_prefetch(request)
+        return request, accepted
+    engine.enqueue_demand(request)
+    return request, True
+
+
+class TestAdmission:
+    def test_demand_enqueued(self):
+        engine = make_engine()
+        request, _ = add_request(engine, 0x100)
+        assert engine.occupancy(0) == 1
+        assert engine.find_queued(0x100, 0) is request
+
+    def test_prefetch_rejected_when_full(self):
+        engine = make_engine(buffer_size=2)
+        add_request(engine, 1)
+        add_request(engine, 2)
+        _, accepted = add_request(engine, 3, is_prefetch=True)
+        assert not accepted
+        assert engine.stats.prefetches_rejected_full == 1
+
+    def test_demand_overflows_when_full(self):
+        engine = make_engine(buffer_size=2)
+        add_request(engine, 1)
+        add_request(engine, 2)
+        add_request(engine, 3)
+        assert engine.occupancy(0) == 2
+        assert engine.stats.demand_overflows == 1
+
+    def test_overflow_drains_after_service(self):
+        engine = make_engine(buffer_size=2)
+        add_request(engine, 1)
+        add_request(engine, 2)
+        add_request(engine, 3)
+        engine.tick(0, 0)
+        # At least one slot freed; the overflow demand must be admitted.
+        assert engine.find_queued(3, 0) is not None
+
+
+class TestScheduling:
+    def test_single_request_serviced(self):
+        engine = make_engine()
+        request, _ = add_request(engine, 0x100)
+        serviced, _ = engine.tick(0, 0)
+        assert serviced == [request]
+        assert request.completion is not None
+        assert request.row_hit_service is False  # row was closed
+
+    def test_demand_first_ordering(self):
+        engine = make_engine(policy="demand-first")
+        prefetch, _ = add_request(engine, 1, is_prefetch=True, now=0)
+        demand, _ = add_request(engine, 2, now=1)
+        serviced, _ = engine.tick(0, 1)
+        # Same bank: only one can be serviced; the demand wins despite age.
+        assert serviced[0] is demand
+
+    def test_equal_policy_prefers_older(self):
+        engine = make_engine(policy="demand-prefetch-equal")
+        prefetch, _ = add_request(engine, 1, is_prefetch=True, now=0)
+        demand, _ = add_request(engine, 2, now=1)
+        serviced, _ = engine.tick(0, 1)
+        assert serviced[0] is prefetch
+
+    def test_row_hit_preferred_within_policy(self):
+        engine = make_engine(policy="demand-first")
+        first, _ = add_request(engine, 0x100)
+        engine.tick(0, 0)  # opens the row holding 0x100
+        now = engine.channels[0].banks[first.bank].busy_until
+        same_row, _ = add_request(engine, 0x101, now=now)
+        lines_per_row = engine.config.lines_per_row
+        other_row, _ = add_request(
+            engine, 0x100 + lines_per_row * 8, now=now - 1
+        )
+        # Both demands, same bank? ensure same bank by construction:
+        if other_row.bank == same_row.bank:
+            serviced, _ = engine.tick(0, now)
+            assert serviced[0] is same_row
+
+    def test_banks_service_in_parallel(self):
+        engine = make_engine()
+        lines_per_row = engine.config.lines_per_row
+        first, _ = add_request(engine, 0)
+        second, _ = add_request(engine, lines_per_row)  # next bank
+        serviced, _ = engine.tick(0, 0)
+        assert len(serviced) == 2
+
+    def test_next_wake_reported(self):
+        engine = make_engine()
+        add_request(engine, 1)
+        add_request(engine, 2)  # same bank; second waits
+        serviced, next_wake = engine.tick(0, 0)
+        assert len(serviced) == 1
+        assert next_wake == engine.channels[0].banks[serviced[0].bank].busy_until
+
+    def test_idle_channel_has_no_wake(self):
+        engine = make_engine()
+        serviced, next_wake = engine.tick(0, 0)
+        assert serviced == []
+        assert next_wake is None
+
+    def test_multi_channel_routing(self):
+        engine = make_engine(channels=2)
+        lines_per_row = engine.config.lines_per_row
+        first = engine.build_request(0, 0, False, 0)
+        second = engine.build_request(lines_per_row, 0, False, 0)
+        assert first.channel != second.channel
+
+
+class TestClosedRowPolicy:
+    def test_row_closed_after_last_hit(self):
+        engine = make_engine(open_row=False)
+        request, _ = add_request(engine, 0x100)
+        engine.tick(0, 0)
+        assert engine.channels[0].banks[request.bank].open_row is None
+
+    def test_row_kept_open_for_queued_hit(self):
+        engine = make_engine(open_row=False)
+        first, _ = add_request(engine, 0x100)
+        second, _ = add_request(engine, 0x101)
+        engine.tick(0, 0)
+        bank = engine.channels[0].banks[first.bank]
+        assert bank.open_row == first.row
+
+
+class TestDropping:
+    def make_padc_engine(self, accuracy=0.05):
+        tracker = PrefetchAccuracyTracker(num_cores=1)
+        for _ in range(100):
+            tracker.record_sent(0)
+        for _ in range(int(accuracy * 100)):
+            tracker.record_used(0)
+        tracker.end_interval()
+        dropped = []
+        dropper = AdaptivePrefetchDropper(tracker)
+        engine = make_engine(
+            policy="demand-first", dropper=dropper, on_drop=dropped.append
+        )
+        return engine, dropped
+
+    def test_old_prefetch_dropped_at_tick(self):
+        engine, dropped = self.make_padc_engine(accuracy=0.05)
+        request, _ = add_request(engine, 1, is_prefetch=True, now=0)
+        serviced, _ = engine.tick(0, 10_000)
+        assert serviced == []
+        assert dropped == [request]
+        assert engine.stats.dropped_prefetches == 1
+        assert engine.occupancy(0) == 0
+
+    def test_young_prefetch_survives(self):
+        engine, dropped = self.make_padc_engine(accuracy=0.95)
+        request, _ = add_request(engine, 1, is_prefetch=True, now=0)
+        serviced, _ = engine.tick(0, 500)
+        assert serviced == [request]
+        assert dropped == []
+
+    def test_demand_not_dropped(self):
+        engine, dropped = self.make_padc_engine(accuracy=0.05)
+        add_request(engine, 1, is_prefetch=False, now=0)
+        serviced, _ = engine.tick(0, 10_000)
+        assert len(serviced) == 1
+        assert dropped == []
+
+
+class TestPromotionInQueue:
+    def test_promoted_request_schedules_as_demand(self):
+        engine = make_engine(policy="demand-first")
+        prefetch, _ = add_request(engine, 1, is_prefetch=True, now=0)
+        demand, _ = add_request(engine, 2, now=1)
+        queued = engine.find_queued(1, 0)
+        queued.promote()
+        serviced, _ = engine.tick(0, 1)
+        assert serviced[0] is prefetch  # now a demand; FCFS beats demand 2

@@ -1,0 +1,62 @@
+"""Unit tests for experiment-module helpers (no big simulations)."""
+
+import pytest
+
+from repro.experiments.fig04 import HISTOGRAM_EDGES, _bucket
+from repro.experiments.fig19_20 import _config as rank_config
+from repro.experiments.fig21_22 import _dual_channel_config
+from repro.experiments.fig26_27 import _shared_config
+from repro.experiments.fig29_30 import FIG29_VARIANTS, _filter_config
+from repro.experiments.single_core import FIG6_BENCHMARKS, _bench_list
+from repro.experiments.runner import Scale
+
+
+class TestHistogramBuckets:
+    def test_bucket_boundaries(self):
+        assert _bucket(1) == "1-200"
+        assert _bucket(200) == "1-200"
+        assert _bucket(201) == "201-400"
+        assert _bucket(1600) == "1401-1600"
+        assert _bucket(1601) == "1601+"
+
+    def test_edges_are_increasing(self):
+        assert list(HISTOGRAM_EDGES) == sorted(HISTOGRAM_EDGES)
+
+
+class TestConfigBuilders:
+    def test_rank_config(self):
+        config = rank_config(4, "padc-rank")
+        assert config.policy == "padc"
+        assert config.padc.use_ranking
+        plain = rank_config(4, "padc")
+        assert not plain.padc.use_ranking
+
+    def test_dual_channel_config(self):
+        assert _dual_channel_config(8, "padc").dram.num_channels == 2
+
+    def test_shared_config(self):
+        config = _shared_config(4, "aps")
+        assert config.cache.shared
+        assert config.cache.size_bytes == 4 * 512 * 1024
+
+    def test_filter_config_resolves_every_variant(self):
+        for label, _policy, filter_kind in FIG29_VARIANTS:
+            config = _filter_config(FIG29_VARIANTS, label)
+            assert config.prefetcher.filter_kind == filter_kind
+
+    def test_filter_config_unknown_label(self):
+        with pytest.raises(KeyError):
+            _filter_config(FIG29_VARIANTS, "nonsense")
+
+
+class TestBenchList:
+    def test_truncates_to_scale(self):
+        assert _bench_list(Scale(single_core_benches=5)) == FIG6_BENCHMARKS[:5]
+
+    def test_extends_to_population(self):
+        names = _bench_list(Scale(single_core_benches=55))
+        assert len(names) == 55
+        assert len(set(names)) >= 50  # FIG6 uses short aliases, allow overlap
+
+    def test_default_is_fig6_set(self):
+        assert tuple(_bench_list(Scale())) == FIG6_BENCHMARKS

@@ -1,0 +1,118 @@
+"""Tests for the experiment layer (registry, tables, exact walkthroughs)."""
+
+import pytest
+
+from repro.experiments import REGISTRY, ExperimentResult, Scale, run_experiment
+from repro.experiments.fig02 import execution_time, service_order, service_timeline
+
+
+class TestFig02Walkthrough:
+    """Figure 2's numbers are stated exactly in the paper."""
+
+    def test_useful_demand_first_is_725(self):
+        assert execution_time("demand-first", prefetches_useful=True) == 725
+
+    def test_useful_equal_is_575(self):
+        assert execution_time("demand-prefetch-equal", prefetches_useful=True) == 575
+
+    def test_useless_demand_first_is_325(self):
+        assert execution_time("demand-first", prefetches_useful=False) == 325
+
+    def test_useless_equal_is_525(self):
+        assert execution_time("demand-prefetch-equal", prefetches_useful=False) == 525
+
+    def test_demand_first_services_demand_first(self):
+        order = [request.name for request in service_order("demand-first")]
+        assert order[0] == "Y"
+
+    def test_equal_services_row_hits_first(self):
+        order = [request.name for request in service_order("demand-prefetch-equal")]
+        assert order == ["X", "Z", "Y"]
+
+    def test_timeline_demand_first(self):
+        completions = dict(service_timeline(service_order("demand-first")))
+        assert completions == {"Y": 300, "X": 600, "Z": 700}
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            service_order("prefetch-first")
+
+
+class TestRegistry:
+    EXPECTED = {
+        "fig01", "fig02", "fig04a", "fig04b", "fig06", "fig07", "fig08",
+        "fig09", "fig10_11", "fig12_13", "fig14_15", "fig16", "fig17",
+        "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
+        "fig26", "fig27", "fig28", "fig29", "fig30", "fig31", "fig32",
+        "table01_02", "table05", "table07", "table08", "table09", "table10",
+    }
+
+    def test_every_paper_artifact_registered(self):
+        assert self.EXPECTED <= set(REGISTRY)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_cost_experiment_matches_paper(self):
+        result = run_experiment("table01_02")
+        four_core = next(row for row in result.rows if row["cores"] == 4)
+        assert four_core["total_bits"] == 34_720
+        assert four_core["no_P_bits"] == 1_824
+
+    def test_fig02_experiment_rows(self):
+        result = run_experiment("fig02")
+        values = {
+            (row["prefetches"], row["policy"]): row["total_cycles"]
+            for row in result.rows
+        }
+        assert values[("useful", "demand-first")] == 725
+        assert values[("useful", "demand-prefetch-equal")] == 575
+        assert values[("useless", "demand-first")] == 325
+        assert values[("useless", "demand-prefetch-equal")] == 525
+
+
+class TestExperimentResult:
+    def test_table_rendering(self):
+        result = ExperimentResult(
+            "x", "demo", rows=[{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        )
+        table = result.to_table()
+        assert "demo" in table
+        assert "2.500" in table
+        assert "10" in table
+
+    def test_empty_table(self):
+        assert "(no rows)" in ExperimentResult("x", "demo").to_table()
+
+    def test_column_extraction(self):
+        result = ExperimentResult("x", "demo", rows=[{"a": 1}, {"a": 2}])
+        assert result.column("a") == [1, 2]
+
+
+class TestScale:
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "nonsense")
+        assert Scale.from_env() == Scale()
+
+    def test_named_scales(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert Scale.from_env().mixes_4core == 32
+
+
+class TestSmallExperimentRun:
+    """Run one cheap simulation-backed experiment end to end."""
+
+    def test_fig04b_produces_phase_history(self):
+        scale = Scale(accesses=1500)
+        result = run_experiment("fig04b", scale)
+        assert result.rows
+        assert all(0.0 <= row["accuracy"] <= 1.0 for row in result.rows)
+
+    def test_fig01_subset_shape(self):
+        scale = Scale(accesses=1200)
+        result = run_experiment("fig01", scale)
+        assert len(result.rows) == 10
+        for row in result.rows:
+            assert row["demand-first"] > 0
+            assert row["demand-pref-equal"] > 0

@@ -1,0 +1,117 @@
+"""Tests for the speedup metrics (WS/HS/IS/UF, gmean)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    geometric_mean,
+    harmonic_speedup,
+    individual_speedups,
+    unfairness,
+    weighted_speedup,
+)
+
+positive_floats = st.floats(min_value=0.01, max_value=10.0)
+
+
+class TestIndividualSpeedups:
+    def test_basic(self):
+        assert individual_speedups([1.0, 2.0], [2.0, 2.0]) == [0.5, 1.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            individual_speedups([1.0], [1.0, 2.0])
+
+    def test_zero_alone_ipc(self):
+        with pytest.raises(ValueError):
+            individual_speedups([1.0], [0.0])
+
+
+class TestWeightedSpeedup:
+    def test_equals_core_count_when_no_slowdown(self):
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == 2.0
+
+    def test_paper_table9_style(self):
+        ws = weighted_speedup([0.8, 0.79, 0.78, 0.77], [1.0, 1.0, 1.0, 1.0])
+        assert ws == pytest.approx(3.14)
+
+
+class TestHarmonicSpeedup:
+    def test_identical_speedups(self):
+        assert harmonic_speedup([0.5, 0.5], [1.0, 1.0]) == pytest.approx(0.5)
+
+    def test_harmonic_penalizes_imbalance(self):
+        balanced = harmonic_speedup([0.5, 0.5], [1.0, 1.0])
+        skewed = harmonic_speedup([0.9, 0.1], [1.0, 1.0])
+        assert skewed < balanced
+
+
+class TestUnfairness:
+    def test_perfectly_fair(self):
+        assert unfairness([0.5, 0.5], [1.0, 1.0]) == 1.0
+
+    def test_ratio(self):
+        assert unfairness([0.8, 0.2], [1.0, 1.0]) == pytest.approx(4.0)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestMetricProperties:
+    @given(
+        st.lists(positive_floats, min_size=1, max_size=8),
+        st.lists(positive_floats, min_size=1, max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ws_bounds(self, together, alone):
+        size = min(len(together), len(alone))
+        together, alone = together[:size], alone[:size]
+        speedups = individual_speedups(together, alone)
+        ws = weighted_speedup(together, alone)
+        assert ws == pytest.approx(sum(speedups))
+        assert ws <= size * max(speedups) + 1e-9
+
+    @given(
+        st.lists(positive_floats, min_size=2, max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_hs_between_min_and_arithmetic_mean(self, speedups):
+        alone = [1.0] * len(speedups)
+        hs = harmonic_speedup(speedups, alone)
+        assert min(speedups) - 1e-9 <= hs <= sum(speedups) / len(speedups) + 1e-9
+
+    @given(st.lists(positive_floats, min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_unfairness_at_least_one(self, speedups):
+        assert unfairness(speedups, [1.0] * len(speedups)) >= 1.0 - 1e-12
+
+    @given(st.lists(positive_floats, min_size=1, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_gmean_between_min_and_max(self, values):
+        gmean = geometric_mean(values)
+        assert min(values) - 1e-9 <= gmean <= max(values) + 1e-9
+
+    @given(st.lists(positive_floats, min_size=1, max_size=8), positive_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_ws_scale_invariance(self, together, scale):
+        """Scaling together and alone IPCs equally leaves WS unchanged."""
+        alone = [1.0] * len(together)
+        ws = weighted_speedup(together, alone)
+        scaled = weighted_speedup(
+            [value * scale for value in together],
+            [value * scale for value in alone],
+        )
+        assert math.isclose(ws, scaled, rel_tol=1e-9)

@@ -1,0 +1,139 @@
+"""Tests for the stride, C/DC and Markov prefetchers."""
+
+from repro.params import PrefetcherConfig
+from repro.prefetch.base import NullPrefetcher, make_prefetcher
+from repro.prefetch.cdc import CDCPrefetcher
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+
+
+class TestStride:
+    def test_constant_stride_detected(self):
+        prefetcher = StridePrefetcher(degree=2, threshold=2)
+        pc = 42
+        assert prefetcher.on_access(100, False, pc=pc) == []  # allocate
+        assert prefetcher.on_access(104, False, pc=pc) == []  # stride learned
+        assert prefetcher.on_access(108, False, pc=pc) == [112, 116]
+        assert prefetcher.on_access(112, False, pc=pc) == [116, 120]
+
+    def test_stride_is_per_pc(self):
+        prefetcher = StridePrefetcher(degree=1)
+        for line in (100, 104, 108, 112):
+            prefetcher.on_access(line, False, pc=1)
+        # A different PC has no history and issues nothing.
+        assert prefetcher.on_access(500, False, pc=2) == []
+
+    def test_changing_stride_resets_confidence(self):
+        prefetcher = StridePrefetcher(degree=1, threshold=2)
+        for line in (100, 104, 108, 112):
+            prefetcher.on_access(line, False, pc=1)
+        assert prefetcher.on_access(130, False, pc=1) == []  # broken stride
+
+    def test_zero_stride_ignored(self):
+        prefetcher = StridePrefetcher(degree=1)
+        prefetcher.on_access(100, False, pc=1)
+        assert prefetcher.on_access(100, False, pc=1) == []
+
+    def test_table_eviction(self):
+        prefetcher = StridePrefetcher(table_size=2, degree=1)
+        prefetcher.on_access(100, False, pc=1)
+        prefetcher.on_access(200, False, pc=2)
+        prefetcher.on_access(300, False, pc=3)  # evicts pc=1
+        assert len(prefetcher._table) == 2
+        assert 1 not in prefetcher._table
+
+    def test_only_train_does_not_allocate(self):
+        prefetcher = StridePrefetcher()
+        prefetcher.on_access(100, False, pc=1, allocate=False)
+        assert len(prefetcher._table) == 0
+
+
+class TestCDC:
+    def test_repeating_delta_pattern_replayed(self):
+        prefetcher = CDCPrefetcher(degree=2)
+        # Deltas: +2,+3,+2,+3 ... pattern (2,3) recurs.
+        lines = [100, 102, 105, 107, 110]
+        candidates = []
+        for line in lines:
+            candidates = prefetcher.on_access(line, False)
+        # Last two deltas (3,2)? deltas are [2,3,2,3]; pair (2,3) found
+        # earlier at index 1; replay deltas after it: [2,3] -> 112, 115.
+        assert candidates == [112, 115]
+
+    def test_zones_are_independent(self):
+        prefetcher = CDCPrefetcher(degree=2, czone_lines_log2=4)
+        prefetcher.on_access(0, False)
+        prefetcher.on_access(2, False)
+        # Far address in a different zone starts fresh history.
+        assert prefetcher.on_access(1 << 20, False) == []
+
+    def test_no_pattern_no_prefetch(self):
+        prefetcher = CDCPrefetcher(degree=2)
+        for line in (100, 107, 109, 130, 131):
+            result = prefetcher.on_access(line, False)
+        assert result == []
+
+    def test_history_bounded(self):
+        prefetcher = CDCPrefetcher(history=8)
+        for line in range(100, 200, 3):
+            prefetcher.on_access(line, False)
+        zone = next(iter(prefetcher._table.values()))
+        assert len(zone.deltas) <= 8
+
+
+class TestMarkov:
+    def test_successor_recorded_and_prefetched(self):
+        prefetcher = MarkovPrefetcher(degree=1)
+        prefetcher.on_access(100, False)
+        prefetcher.on_access(200, False)  # records 100 -> 200
+        # Revisiting 100 prefetches its recorded successor.
+        assert prefetcher.on_access(100, False) == [200]
+
+    def test_miss_sequence_correlation(self):
+        prefetcher = MarkovPrefetcher(degree=2)
+        sequence = [1, 2, 3, 1, 2, 3, 1]
+        last_candidates = []
+        for line in sequence:
+            last_candidates = prefetcher.on_access(line, False)
+        assert 2 in last_candidates
+
+    def test_hits_do_not_train(self):
+        prefetcher = MarkovPrefetcher()
+        prefetcher.on_access(1, True)
+        prefetcher.on_access(2, True)
+        assert len(prefetcher._table) == 0
+
+    def test_mru_successor_ordering(self):
+        prefetcher = MarkovPrefetcher(successors=2, degree=2)
+        for pair in ((1, 2), (1, 3), (1, 3)):
+            prefetcher.on_access(pair[0], False)
+            prefetcher.on_access(pair[1], False)
+        candidates = prefetcher.on_access(1, False)
+        assert candidates[0] == 3  # most recent successor first
+
+    def test_successor_list_bounded(self):
+        prefetcher = MarkovPrefetcher(successors=2)
+        for successor in (10, 20, 30, 40):
+            prefetcher.on_access(1, False)
+            prefetcher.on_access(successor, False)
+        assert len(prefetcher._table[1]) <= 2
+
+
+class TestFactory:
+    def test_make_each_kind(self):
+        assert isinstance(
+            make_prefetcher(PrefetcherConfig(kind="stream")), type(make_prefetcher(PrefetcherConfig()))
+        )
+        assert isinstance(make_prefetcher(PrefetcherConfig(kind="stride")), StridePrefetcher)
+        assert isinstance(make_prefetcher(PrefetcherConfig(kind="cdc")), CDCPrefetcher)
+        assert isinstance(make_prefetcher(PrefetcherConfig(kind="markov")), MarkovPrefetcher)
+        assert isinstance(make_prefetcher(PrefetcherConfig(kind="none")), NullPrefetcher)
+
+    def test_unknown_kind(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            make_prefetcher(PrefetcherConfig(kind="psychic"))
+
+    def test_null_prefetcher_returns_nothing(self):
+        assert NullPrefetcher().on_access(1, False) == []

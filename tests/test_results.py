@@ -1,0 +1,103 @@
+"""Tests for the result containers' derived metrics."""
+
+from repro.sim.results import CoreResult, SimResult
+
+
+def make_core_result(**kwargs):
+    defaults = dict(core_id=0, benchmark="x")
+    defaults.update(kwargs)
+    return CoreResult(**defaults)
+
+
+class TestCoreResult:
+    def test_ipc(self):
+        core = make_core_result(instructions=1000, cycles=500)
+        assert core.ipc == 2.0
+
+    def test_ipc_zero_cycles(self):
+        assert make_core_result().ipc == 0.0
+
+    def test_spl(self):
+        core = make_core_result(stall_cycles=500, loads=100)
+        assert core.spl == 5.0
+
+    def test_mpki(self):
+        core = make_core_result(instructions=10_000, l2_misses=50)
+        assert core.mpki == 5.0
+
+    def test_accuracy_and_coverage(self):
+        core = make_core_result(pf_sent=100, pf_used=60, demand_fills=40)
+        assert core.accuracy == 0.6
+        assert core.coverage == 0.6
+
+    def test_accuracy_no_prefetches(self):
+        assert make_core_result().accuracy == 0.0
+
+    def test_traffic_categories(self):
+        core = make_core_result(
+            demand_fills=10,
+            promoted_fills=5,
+            prefetch_fills=20,
+            prefetch_fills_used=12,
+            runahead_fills=3,
+        )
+        assert core.useful_prefetch_traffic == 17
+        assert core.useless_prefetch_traffic == 8
+        assert core.total_traffic == 38
+
+    def test_rbhu(self):
+        core = make_core_result(
+            demand_fills=10,
+            demand_row_hits=5,
+            promoted_fills=2,
+            promoted_row_hits=2,
+            prefetch_fills=10,
+            prefetch_fills_used=8,
+            useful_prefetch_row_hits=6,
+        )
+        assert core.rbhu == (5 + 2 + 6) / (10 + 2 + 8)
+
+    def test_rbhu_empty(self):
+        assert make_core_result().rbhu == 0.0
+
+
+class TestSimResult:
+    def make(self):
+        cores = [
+            make_core_result(
+                core_id=0,
+                instructions=100,
+                cycles=100,
+                demand_fills=10,
+                prefetch_fills=4,
+                prefetch_fills_used=1,
+            ),
+            make_core_result(
+                core_id=1,
+                instructions=300,
+                cycles=100,
+                demand_fills=20,
+                promoted_fills=2,
+            ),
+        ]
+        return SimResult(policy="padc", cores=cores, total_cycles=100)
+
+    def test_ipcs(self):
+        result = self.make()
+        assert result.ipcs() == [1.0, 3.0]
+        assert result.ipc(1) == 3.0
+
+    def test_traffic_breakdown(self):
+        breakdown = self.make().traffic_breakdown()
+        assert breakdown["demand"] == 30
+        assert breakdown["pref-useful"] == 3
+        assert breakdown["pref-useless"] == 3
+        assert sum(breakdown.values()) == self.make().total_traffic
+
+    def test_summary_keys(self):
+        summary = self.make().summary()
+        assert summary["policy"] == "padc"
+        assert summary["ipc_sum"] == 4.0
+
+    def test_num_cores(self):
+        assert self.make().num_cores == 2

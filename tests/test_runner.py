@@ -1,0 +1,81 @@
+"""Tests for the experiment runner helpers."""
+
+from repro.experiments.runner import (
+    SCALES,
+    Scale,
+    _ALONE_CACHE,
+    alone_ipc,
+    average,
+    run_policies,
+    speedup_metrics,
+)
+from repro.params import baseline_config
+
+
+class TestAloneIPC:
+    def test_memoization(self):
+        _ALONE_CACHE.clear()
+        first = alone_ipc("swim", 600, seed=1)
+        assert ("swim", 600, 1, None) in _ALONE_CACHE
+        assert alone_ipc("swim", 600, seed=1) == first
+
+    def test_profile_objects_memoize(self):
+        from repro.workloads import get_profile
+
+        profile = get_profile("swim")
+        assert alone_ipc(profile, 600, seed=1) == alone_ipc(profile, 600, seed=1)
+
+    def test_custom_config_keyed_separately(self):
+        small = baseline_config(1, policy="demand-first", cache_kb_per_core=256)
+        default = alone_ipc("galgel", 600, seed=2)
+        with_small_cache = alone_ipc("galgel", 600, config=small, seed=2)
+        # Different cache sizes are distinct cache entries (values may
+        # coincide, but both keys must exist).
+        keys = [key for key in _ALONE_CACHE if key[0] == "galgel"]
+        assert len(keys) >= 2
+        assert default > 0 and with_small_cache > 0
+
+    def test_rejects_multicore_config(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            alone_ipc("swim", 100, config=baseline_config(2))
+
+
+class TestRunPolicies:
+    def test_runs_each_policy(self):
+        runs = run_policies(["swim"], 500, policies=("no-pref", "padc"))
+        assert set(runs) == {"no-pref", "padc"}
+        assert runs["no-pref"].cores[0].pf_sent == 0
+        assert runs["padc"].cores[0].loads == 500
+
+    def test_config_builder_used(self):
+        calls = []
+
+        def builder(policy):
+            calls.append(policy)
+            return baseline_config(1, policy=policy)
+
+        run_policies(["swim"], 300, policies=("padc",), config_builder=builder)
+        assert calls == ["padc"]
+
+
+class TestSpeedupMetrics:
+    def test_metrics_computed(self):
+        runs = run_policies(["swim", "milc"], 500, policies=("padc",))
+        metrics = speedup_metrics(runs["padc"], ["swim", "milc"], 500)
+        assert 0 < metrics["ws"] <= 2.0 + 1e-9
+        assert 0 < metrics["hs"] <= 1.0 + 1e-9
+        assert metrics["uf"] >= 1.0
+
+
+class TestScales:
+    def test_three_scales_defined(self):
+        assert set(SCALES) == {"quick", "medium", "paper"}
+        assert SCALES["paper"].mixes_2core == 54
+        assert SCALES["paper"].mixes_4core == 32
+        assert SCALES["paper"].mixes_8core == 21
+
+    def test_average(self):
+        assert average([1.0, 3.0]) == 2.0
+        assert average([]) == 0.0

@@ -1,0 +1,174 @@
+"""Integration tests for the less-travelled system variants."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.params import baseline_config
+from repro.sim import System, simulate
+from repro.workloads import BenchmarkProfile
+
+STREAMY = BenchmarkProfile(
+    name="streamy",
+    pf_class=1,
+    apki=20.0,
+    stream_fraction=0.97,
+    run_length=2048,
+    num_streams=2,
+    ws_lines=1 << 20,
+)
+
+JUNKY = BenchmarkProfile(
+    name="junky",
+    pf_class=2,
+    apki=10.0,
+    stream_fraction=0.6,
+    run_length=6,
+    num_streams=4,
+    ws_lines=1 << 18,
+)
+
+
+class TestRankingPolicy:
+    def test_padc_rank_runs(self):
+        config = baseline_config(4, policy="padc", use_ranking=True)
+        result = simulate(
+            config,
+            [STREAMY, JUNKY, STREAMY, JUNKY],
+            max_accesses_per_core=1_000,
+        )
+        assert all(core.loads == 1_000 for core in result.cores)
+
+    def test_ranking_differs_from_plain_padc(self):
+        mix = [STREAMY, JUNKY, STREAMY, JUNKY]
+        plain = simulate(
+            baseline_config(4, policy="padc"), mix, max_accesses_per_core=1_500
+        )
+        ranked = simulate(
+            baseline_config(4, policy="padc", use_ranking=True),
+            mix,
+            max_accesses_per_core=1_500,
+        )
+        # The schedulers must actually diverge somewhere.
+        assert plain.total_cycles != ranked.total_cycles
+
+
+class TestUrgencyToggle:
+    def test_urgency_off_runs_and_differs(self):
+        # Enough cores/contention that the urgency tie-break actually
+        # reorders some scheduling decisions.
+        mix = [STREAMY, JUNKY, STREAMY, JUNKY]
+        with_urgency = simulate(
+            baseline_config(4, policy="aps", use_urgency=True),
+            mix,
+            max_accesses_per_core=2_500,
+        )
+        without = simulate(
+            baseline_config(4, policy="aps", use_urgency=False),
+            mix,
+            max_accesses_per_core=2_500,
+        )
+        assert with_urgency.total_cycles != without.total_cycles
+
+
+class TestPrefetchFirstPolicy:
+    def test_prefetch_first_is_worst_for_junky(self):
+        """The paper's footnote 2: prefetch-first performs worst."""
+        results = {}
+        for policy in ("demand-first", "prefetch-first"):
+            config = baseline_config(1, policy=policy)
+            results[policy] = simulate(
+                config, [JUNKY], max_accesses_per_core=2_500
+            )
+        assert results["prefetch-first"].ipc() <= results["demand-first"].ipc()
+
+
+class TestPermutationInterleaving:
+    def test_permutation_runs_and_spreads_banks(self):
+        config = baseline_config(2, policy="padc", permutation=True)
+        result = simulate(
+            config, [STREAMY, JUNKY], max_accesses_per_core=1_200
+        )
+        assert all(core.loads == 1_200 for core in result.cores)
+
+    def test_permutation_changes_timing(self):
+        mix = [STREAMY, JUNKY]
+        plain = simulate(
+            baseline_config(2, policy="demand-first"),
+            mix,
+            max_accesses_per_core=1_500,
+        )
+        permuted = simulate(
+            baseline_config(2, policy="demand-first", permutation=True),
+            mix,
+            max_accesses_per_core=1_500,
+        )
+        assert plain.total_cycles != permuted.total_cycles
+
+
+class TestDemandFirstAPD:
+    def test_apd_on_demand_first_drops(self):
+        config = baseline_config(1, policy="demand-first-apd")
+        result = simulate(config, [JUNKY], max_accesses_per_core=4_000)
+        assert result.dropped_prefetches > 0
+
+
+class TestFailureInjection:
+    def test_cache_invalidation_mid_run_recovers(self):
+        """Random invalidations mid-run must not corrupt the simulation."""
+        config = baseline_config(1, policy="padc")
+        system = System(config, [STREAMY], seed=0)
+        # Run a slice, invalidate resident lines behind the system's back,
+        # then continue: the system must re-miss and re-fetch cleanly.
+        system.cores[0].target_accesses = 1_000
+        system.run(1_000)
+        cache = system._caches[0]
+        invalidated = 0
+        for cache_set in cache._sets:
+            for line_addr in list(cache_set)[:2]:
+                # Only lines without in-flight state can be dropped safely.
+                if not system._mshrs[0].contains(line_addr):
+                    cache.invalidate(line_addr)
+                    invalidated += 1
+        assert invalidated > 0
+        result = simulate(config, [STREAMY], max_accesses_per_core=1_000)
+        assert result.cores[0].loads == 1_000
+
+    def test_zero_accesses_run(self):
+        config = baseline_config(1, policy="padc")
+        result = simulate(config, [STREAMY], max_accesses_per_core=0)
+        assert result.cores[0].loads == 0
+        assert result.total_cycles >= 0
+
+    def test_single_access_run(self):
+        config = baseline_config(1, policy="padc")
+        result = simulate(config, [STREAMY], max_accesses_per_core=1)
+        assert result.cores[0].loads == 1
+
+
+class TestConfigInteractions:
+    @pytest.mark.parametrize("policy", ["padc", "aps", "demand-prefetch-equal"])
+    def test_closed_row_with_each_policy(self, policy):
+        config = baseline_config(1, policy=policy, open_row=False)
+        result = simulate(config, [JUNKY], max_accesses_per_core=1_200)
+        assert result.cores[0].loads == 1_200
+
+    def test_shared_cache_with_runahead(self):
+        config = baseline_config(
+            2, policy="padc", shared_cache=True, runahead=True
+        )
+        result = simulate(config, [STREAMY, JUNKY], max_accesses_per_core=1_000)
+        assert all(core.loads == 1_000 for core in result.cores)
+
+    def test_dual_channel_with_permutation_and_refresh(self):
+        config = baseline_config(2, policy="padc", num_channels=2, permutation=True)
+        config = replace(config, dram=replace(config.dram, refresh_enabled=True))
+        result = simulate(config, [STREAMY, JUNKY], max_accesses_per_core=1_000)
+        assert all(core.loads == 1_000 for core in result.cores)
+
+    def test_markov_with_padc_and_filter(self):
+        config = baseline_config(
+            1, policy="padc", prefetcher_kind="markov", filter_kind="ddpf"
+        )
+        result = simulate(config, [JUNKY], max_accesses_per_core=1_500)
+        assert result.cores[0].loads == 1_500
