@@ -19,7 +19,7 @@ from repro.controller.cost import cost_as_fraction_of_l2, padc_storage_cost
 from repro.core.tracefile import save_trace
 from repro.metrics import harmonic_speedup, unfairness, weighted_speedup
 from repro.params import ALL_POLICIES, baseline_config
-from repro.sim import simulate
+from repro.runtime import SimJob
 from repro.workloads import ALL_BENCHMARKS, make_trace
 
 
@@ -49,6 +49,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run each benchmark alone and report WS/HS/UF",
     )
+    _add_runtime_flags(sim)
 
     sub.add_parser("benchmarks", help="list the workload profiles")
 
@@ -60,6 +61,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="run paper experiments")
     experiment.add_argument("names", nargs="+", help="experiment ids, or 'all'")
+    _add_runtime_flags(experiment)
 
     trace = sub.add_parser("trace", help="dump a synthetic trace to a file")
     trace.add_argument("benchmark")
@@ -67,6 +69,41 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--accesses", type=int, default=10_000)
     trace.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    """Parallelism/caching knobs shared by simulation-running subcommands."""
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for independent simulations "
+        "(0 = one per CPU core; default $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk result cache (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+
+
+def _configure_runtime(args):
+    """Install the runtime the CLI flags ask for; returns it."""
+    from repro import runtime
+
+    if args.jobs is not None or args.cache_dir is not None or args.no_cache:
+        return runtime.configure(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            cache_enabled=False if args.no_cache else None,
+        )
+    return runtime.get_runtime()
 
 
 def _cmd_simulate(args) -> int:
@@ -85,8 +122,9 @@ def _cmd_simulate(args) -> int:
         shared_cache=args.shared_cache,
         runahead=args.runahead,
     )
-    result = simulate(
-        config, benchmarks, max_accesses_per_core=args.accesses, seed=args.seed
+    runtime = _configure_runtime(args)
+    result = runtime.run(
+        SimJob.make(config, benchmarks, args.accesses, seed=args.seed)
     )
     print(f"policy={args.policy} cycles={result.total_cycles}")
     print(
@@ -107,15 +145,12 @@ def _cmd_simulate(args) -> int:
         f"row-buffer hit rate {result.row_buffer_hit_rate:.2f}"
     )
     if args.alone and args.cores > 1:
-        alone = []
-        for index, benchmark in enumerate(benchmarks):
-            alone_result = simulate(
-                baseline_config(1, policy="demand-first"),
-                [benchmark],
-                max_accesses_per_core=args.accesses,
-                seed=args.seed + index,
-            )
-            alone.append(alone_result.cores[0].ipc)
+        alone_config = baseline_config(1, policy="demand-first")
+        alone_jobs = [
+            SimJob.make(alone_config, [benchmark], args.accesses, seed=args.seed + index)
+            for index, benchmark in enumerate(benchmarks)
+        ]
+        alone = [run.cores[0].ipc for run in runtime.run_many(alone_jobs)]
         together = result.ipcs()
         print(
             f"WS={weighted_speedup(together, alone):.3f} "
@@ -155,7 +190,14 @@ def _cmd_cost(args) -> int:
 def _cmd_experiment(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
-    return experiments_main(args.names)
+    argv = list(args.names)
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    if args.cache_dir is not None:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.no_cache:
+        argv.append("--no-cache")
+    return experiments_main(argv)
 
 
 def _cmd_trace(args) -> int:

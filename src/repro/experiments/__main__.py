@@ -2,28 +2,82 @@
 
 Usage::
 
-    python -m repro.experiments              # list experiments
-    python -m repro.experiments fig01 fig16  # run specific ones
-    python -m repro.experiments all          # run everything
-    REPRO_SCALE=paper python -m repro.experiments all
+    python -m repro.experiments                   # list experiments
+    python -m repro.experiments fig01 fig16       # run specific ones
+    python -m repro.experiments --all --jobs 8    # everything, 8 workers
+    python -m repro.experiments all               # legacy spelling of --all
+    REPRO_SCALE=paper python -m repro.experiments --all --jobs 0  # 0 = all cores
+
+Results are served from the on-disk cache (``~/.cache/repro`` unless
+``--cache-dir``/``$REPRO_CACHE_DIR`` says otherwise), so a rerun at the
+same scale and seeds performs no new simulation work.  ``--no-cache``
+(or ``$REPRO_CACHE=0``) disables it.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
 from repro.experiments import REGISTRY, Scale, run_experiment
 
 
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names", nargs="*", help="experiment ids ('all' runs everything)"
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        dest="run_all",
+        help="run every registered experiment",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for independent simulations "
+        "(0 = one per CPU core; default $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk result cache location "
+        "(default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    return parser
+
+
 def main(argv) -> int:
-    if not argv:
+    args = _build_parser().parse_args(argv)
+    names = [name for name in args.names if name != "all"]
+    if args.run_all or len(names) != len(args.names):
+        names = sorted(REGISTRY)
+    if not names:
         print("available experiments:")
         for name in sorted(REGISTRY):
             print(f"  {name}")
-        print("\nusage: python -m repro.experiments <name>... | all")
+        print("\nusage: python -m repro.experiments <name>... | --all")
         return 0
-    names = sorted(REGISTRY) if argv == ["all"] else argv
+    if args.jobs is not None or args.cache_dir is not None or args.no_cache:
+        from repro import runtime
+
+        runtime.configure(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            cache_enabled=False if args.no_cache else None,
+        )
     scale = Scale.from_env()
     for name in names:
         start = time.time()

@@ -23,19 +23,16 @@ from repro.experiments.casestudies import CASE_II, CASE_III
 from repro.experiments.runner import (
     ExperimentResult,
     Scale,
-    alone_ipc,
+    alone_ipcs,
     register,
+    run_configs,
 )
 from repro.metrics import weighted_speedup
 from repro.params import baseline_config
-from repro.sim import simulate
 
 
 def _ws(result, mix, accesses, seed):
-    alone = [
-        alone_ipc(benchmark, accesses, seed=seed + index)
-        for index, benchmark in enumerate(mix)
-    ]
+    alone = alone_ipcs(mix, accesses, seed=seed)
     return weighted_speedup(result.ipcs(), alone)
 
 
@@ -56,15 +53,20 @@ def ablation_drop_threshold(scale: Scale) -> ExperimentResult:
             "fixed-100 without its useful-prefetch casualties."
         ),
     )
-    for label, thresholds in variants.items():
+    configs = []
+    for thresholds in variants.values():
         if thresholds is None:
-            config = baseline_config(4, policy="aps")
+            configs.append(baseline_config(4, policy="aps"))
         else:
             config = baseline_config(4, policy="padc")
-            config = replace(
-                config, padc=replace(config.padc, drop_thresholds=tuple(thresholds))
+            configs.append(
+                replace(
+                    config,
+                    padc=replace(config.padc, drop_thresholds=tuple(thresholds)),
+                )
             )
-        run = simulate(config, mix, max_accesses_per_core=scale.accesses, seed=seed)
+    runs = run_configs(configs, mix, scale.accesses, seed=seed)
+    for label, run in zip(variants, runs):
         result.rows.append(
             {
                 "variant": label,
@@ -86,12 +88,16 @@ def ablation_promotion(scale: Scale) -> ExperimentResult:
         notes="The paper uses 0.85; low thresholds degenerate toward "
         "demand-prefetch-equal, high ones toward demand-first.",
     )
-    for threshold in (0.5, 0.7, 0.85, 0.95, 0.99):
-        config = baseline_config(4, policy="aps")
-        config = replace(
-            config, padc=replace(config.padc, promotion_threshold=threshold)
+    thresholds = (0.5, 0.7, 0.85, 0.95, 0.99)
+    configs = [
+        replace(
+            baseline_config(4, policy="aps"),
+            padc=replace(baseline_config(4).padc, promotion_threshold=threshold),
         )
-        run = simulate(config, mix, max_accesses_per_core=scale.accesses, seed=seed)
+        for threshold in thresholds
+    ]
+    runs = run_configs(configs, mix, scale.accesses, seed=seed)
+    for threshold, run in zip(thresholds, runs):
         result.rows.append(
             {
                 "promotion_threshold": threshold,
@@ -112,12 +118,16 @@ def ablation_interval(scale: Scale) -> ExperimentResult:
         notes="The paper samples every 100K cycles; the interval must be "
         "short enough to catch milc's accuracy phases.",
     )
-    for interval in (25_000, 100_000, 400_000):
-        config = baseline_config(4, policy="padc")
-        config = replace(
-            config, padc=replace(config.padc, accuracy_interval=interval)
+    intervals = (25_000, 100_000, 400_000)
+    configs = [
+        replace(
+            baseline_config(4, policy="padc"),
+            padc=replace(baseline_config(4).padc, accuracy_interval=interval),
         )
-        run = simulate(config, mix, max_accesses_per_core=scale.accesses, seed=seed)
+        for interval in intervals
+    ]
+    runs = run_configs(configs, mix, scale.accesses, seed=seed)
+    for interval, run in zip(intervals, runs):
         result.rows.append(
             {
                 "interval": interval,
@@ -138,19 +148,25 @@ def ablation_aggressiveness(scale: Scale) -> ExperimentResult:
         notes="PADC should tolerate over-aggressive prefetching better "
         "than the rigid policy (it drops the extra junk).",
     )
-    for degree, distance in ((1, 16), (2, 32), (4, 64), (8, 128)):
-        for policy in ("demand-first", "padc"):
-            config = baseline_config(4, policy=policy)
-            config = replace(
+    points = [
+        (degree, distance, policy)
+        for degree, distance in ((1, 16), (2, 32), (4, 64), (8, 128))
+        for policy in ("demand-first", "padc")
+    ]
+    configs = []
+    for degree, distance, policy in points:
+        config = baseline_config(4, policy=policy)
+        configs.append(
+            replace(
                 config,
                 prefetcher=replace(
                     config.prefetcher, degree=degree, distance=distance
                 ),
             )
-            run = simulate(
-                config, mix, max_accesses_per_core=scale.accesses, seed=seed
-            )
-            result.rows.append(
+        )
+    runs = run_configs(configs, mix, scale.accesses, seed=seed)
+    for (degree, distance, policy), run in zip(points, runs):
+        result.rows.append(
                 {
                     "degree": degree,
                     "distance": distance,

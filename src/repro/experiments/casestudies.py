@@ -16,7 +16,7 @@ from repro.experiments.runner import (
     DEFAULT_POLICIES,
     ExperimentResult,
     Scale,
-    alone_ipc,
+    alone_ipcs,
     register,
     run_policies,
 )
@@ -36,10 +36,7 @@ def case_study(
     seed: int = 7,
 ) -> ExperimentResult:
     runs = run_policies(list(mix), scale.accesses, policies=policies, seed=seed)
-    alone = [
-        alone_ipc(benchmark, scale.accesses, seed=seed + index)
-        for index, benchmark in enumerate(mix)
-    ]
+    alone = alone_ipcs(mix, scale.accesses, seed=seed)
     result = ExperimentResult(experiment_id, title)
     for policy in policies:
         run = runs[policy]

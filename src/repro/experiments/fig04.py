@@ -12,7 +12,7 @@ from dataclasses import replace
 
 from repro.experiments.runner import ExperimentResult, Scale, register
 from repro.params import baseline_config
-from repro.sim import simulate
+from repro.runtime import SimJob, get_runtime
 
 HISTOGRAM_EDGES = (200, 400, 600, 800, 1000, 1200, 1400, 1600)
 
@@ -29,11 +29,10 @@ def _bucket(value: int) -> str:
 @register("fig04a")
 def fig04a(scale: Scale) -> ExperimentResult:
     config = baseline_config(1, policy="demand-first")
-    run = simulate(
-        config,
-        ["milc"],
-        max_accesses_per_core=scale.accesses * 2,
-        collect_service_times=True,
+    run = get_runtime().run(
+        SimJob.make(
+            config, ["milc"], scale.accesses * 2, collect_service_times=True
+        )
     )
     core = run.cores[0]
     buckets = {}
@@ -70,7 +69,7 @@ def fig04b(scale: Scale) -> ExperimentResult:
     # phases fit into the trace slice.
     config = baseline_config(1, policy="demand-first")
     config = replace(config, padc=replace(config.padc, accuracy_interval=20_000))
-    run = simulate(config, ["milc"], max_accesses_per_core=scale.accesses * 3)
+    run = get_runtime().run(SimJob.make(config, ["milc"], scale.accesses * 3))
     history = run.accuracy_history[0]
     result = ExperimentResult(
         "fig04b",

@@ -4,9 +4,14 @@
   for the full overnight reproduction).
 * :class:`ExperimentResult` — id, title, rows (list of dicts) and notes,
   with an ASCII table renderer.
-* :func:`run_policies` / :func:`alone_ipc` — memoized simulation helpers
-  shared by all experiments (the paper measures IPC_alone with the
-  demand-first policy, §5.2).
+* :func:`run_policies` / :func:`alone_ipc` / :func:`alone_ipcs` —
+  memoized simulation helpers shared by all experiments (the paper
+  measures IPC_alone with the demand-first policy, §5.2).
+
+All simulations submit through :mod:`repro.runtime`: independent jobs
+fan out over worker processes when ``--jobs``/``$REPRO_JOBS`` asks for
+more than one, and every result is persisted to the on-disk cache so a
+rerun at the same scale and seeds performs no new simulation work.
 """
 
 from __future__ import annotations
@@ -17,7 +22,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.metrics import harmonic_speedup, unfairness, weighted_speedup
 from repro.params import SystemConfig, baseline_config
-from repro.sim import SimResult, simulate
+from repro.runtime import SimJob, config_fingerprint, get_runtime
+from repro.sim import SimResult
 
 DEFAULT_POLICIES = (
     "no-pref",
@@ -40,7 +46,7 @@ class Scale:
 
     @staticmethod
     def from_env() -> "Scale":
-        """Pick the scale from $REPRO_SCALE (quick|medium|paper)."""
+        """Pick the scale from $REPRO_SCALE (tiny|quick|medium|paper)."""
         name = os.environ.get("REPRO_SCALE", "quick")
         return SCALES.get(name, SCALES["quick"])
 
@@ -135,6 +141,8 @@ def run_experiment(name: str, scale: Optional[Scale] = None) -> ExperimentResult
 
 # -- memoized simulation helpers ---------------------------------------------
 
+# In-process memo of alone IPCs, layered over the disk cache: repeated
+# alone_ipc calls within one run skip even the cache-file read.
 _ALONE_CACHE: Dict = {}
 
 
@@ -149,29 +157,52 @@ def alone_ipc(
     ``benchmark`` is a profile name or a BenchmarkProfile (profiles are
     frozen/hashable, so both memoize).
     """
-    key = (benchmark, accesses, seed, _config_key(config))
-    if key not in _ALONE_CACHE:
-        base = config or baseline_config(1, policy="demand-first")
-        if base.num_cores != 1:
-            raise ValueError("alone_ipc requires a single-core config")
-        result = simulate(base, [benchmark], max_accesses_per_core=accesses, seed=seed)
-        _ALONE_CACHE[key] = result.cores[0].ipc
-    return _ALONE_CACHE[key]
+    return alone_ipcs([benchmark], accesses, config=config, seed=seed)[0]
+
+
+def alone_ipcs(
+    benchmarks: Sequence,
+    accesses: int,
+    config: Optional[SystemConfig] = None,
+    seed: int = 0,
+) -> List[float]:
+    """Alone IPCs for a whole mix, submitted as one parallel batch.
+
+    Benchmark ``i`` runs with ``seed + i``, matching the seeds its
+    multiprogrammed counterpart uses in :func:`speedup_metrics`.
+    """
+    base = config or baseline_config(1, policy="demand-first")
+    if base.num_cores != 1:
+        raise ValueError("alone_ipc requires a single-core config")
+    keys = [
+        (benchmark, accesses, seed + index, _config_key(config))
+        for index, benchmark in enumerate(benchmarks)
+    ]
+    missing = [
+        (index, benchmark)
+        for index, benchmark in enumerate(benchmarks)
+        if keys[index] not in _ALONE_CACHE
+    ]
+    if missing:
+        jobs = [
+            SimJob.make(base, [benchmark], accesses, seed=seed + index)
+            for index, benchmark in missing
+        ]
+        for (index, _), result in zip(missing, get_runtime().run_many(jobs)):
+            _ALONE_CACHE[keys[index]] = result.cores[0].ipc
+    return [_ALONE_CACHE[key] for key in keys]
 
 
 def _config_key(config: Optional[SystemConfig]):
+    """Memo key component for a config: a hash of *every* field.
+
+    The old implementation enumerated a hand-picked tuple of fields and
+    silently collided on anything outside it (dram.banks_per_channel,
+    APD drop thresholds, ...); the full content hash cannot.
+    """
     if config is None:
         return None
-    return (
-        config.policy,
-        config.prefetcher.kind,
-        config.cache.size_bytes,
-        config.dram.num_channels,
-        config.dram.row_buffer_bytes,
-        config.dram.open_row_policy,
-        config.dram.permutation_interleaving,
-        config.core.runahead,
-    )
+    return config_fingerprint(config)
 
 
 def run_policies(
@@ -182,21 +213,36 @@ def run_policies(
     config_builder: Optional[Callable[[str], SystemConfig]] = None,
     **sim_kwargs,
 ) -> Dict[str, SimResult]:
-    """Run one workload under several policies and return the results."""
-    results = {}
+    """Run one workload under several policies and return the results.
+
+    The per-policy runs are independent, so they form one batch for the
+    runtime: cache hits load from disk, misses fan out over ``--jobs``
+    worker processes.
+    """
+    jobs = []
     for policy in policies:
         if config_builder is not None:
             config = config_builder(policy)
         else:
             config = baseline_config(len(benchmarks), policy=policy)
-        results[policy] = simulate(
-            config,
-            benchmarks,
-            max_accesses_per_core=accesses,
-            seed=seed,
-            **sim_kwargs,
-        )
-    return results
+        jobs.append(SimJob.make(config, benchmarks, accesses, seed=seed, **sim_kwargs))
+    results = get_runtime().run_many(jobs)
+    return dict(zip(policies, results))
+
+
+def run_configs(
+    configs: Sequence[SystemConfig],
+    benchmarks: Sequence[str],
+    accesses: int,
+    seed: int = 0,
+    **sim_kwargs,
+) -> List[SimResult]:
+    """Run one workload under several explicit configs as one batch."""
+    jobs = [
+        SimJob.make(config, benchmarks, accesses, seed=seed, **sim_kwargs)
+        for config in configs
+    ]
+    return get_runtime().run_many(jobs)
 
 
 def speedup_metrics(
@@ -207,10 +253,7 @@ def speedup_metrics(
     seed: int = 0,
 ) -> Dict[str, float]:
     """WS/HS/UF of a multiprogrammed run against demand-first alone runs."""
-    alone = [
-        alone_ipc(benchmark, accesses, config=alone_config, seed=seed + index)
-        for index, benchmark in enumerate(benchmarks)
-    ]
+    alone = alone_ipcs(benchmarks, accesses, config=alone_config, seed=seed)
     together = result.ipcs()
     return {
         "ws": weighted_speedup(together, alone),

@@ -12,12 +12,12 @@ from repro.experiments.casestudies import CASE_III
 from repro.experiments.runner import (
     ExperimentResult,
     Scale,
-    alone_ipc,
+    alone_ipcs,
     register,
+    run_configs,
 )
 from repro.metrics import harmonic_speedup, unfairness, weighted_speedup
 from repro.params import baseline_config
-from repro.sim import simulate
 
 VARIANTS = (
     ("demand-first", "demand-first", True),
@@ -32,18 +32,18 @@ VARIANTS = (
 def table08(scale: Scale) -> ExperimentResult:
     seed = 7
     mix = list(CASE_III)
-    alone = [
-        alone_ipc(benchmark, scale.accesses, seed=seed + index)
-        for index, benchmark in enumerate(mix)
-    ]
+    alone = alone_ipcs(mix, scale.accesses, seed=seed)
     result = ExperimentResult(
         "table08",
         "Effect of prioritizing urgent requests (case study III mix)",
         notes="Paper Table 8: urgency improves UF and HS substantially.",
     )
-    for label, policy, use_urgency in VARIANTS:
-        config = baseline_config(4, policy=policy, use_urgency=use_urgency)
-        run = simulate(config, mix, max_accesses_per_core=scale.accesses, seed=seed)
+    configs = [
+        baseline_config(4, policy=policy, use_urgency=use_urgency)
+        for _, policy, use_urgency in VARIANTS
+    ]
+    runs = run_configs(configs, mix, scale.accesses, seed=seed)
+    for (label, _, _), run in zip(VARIANTS, runs):
         together = run.ipcs()
         row = {"variant": label}
         for index, benchmark in enumerate(mix):

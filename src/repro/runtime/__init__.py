@@ -1,0 +1,39 @@
+"""Parallel execution + persistent result caching for the experiment pipeline.
+
+* :mod:`repro.runtime.hashing` — canonical content hashes of configs/jobs;
+* :mod:`repro.runtime.store` — the on-disk SimResult cache;
+* :mod:`repro.runtime.parallel` — :class:`SimJob`, the serial/parallel
+  :class:`Runtime`, and the process-wide ``get_runtime``/``configure``.
+
+Every entry point that runs simulations (``run_policies``, ``alone_ipc``,
+the CLIs, the benchmark harness) submits through this layer, so the
+``--jobs``/``--cache-dir`` knobs and ``$REPRO_JOBS``/``$REPRO_CACHE_DIR``/
+``$REPRO_CACHE`` variables apply uniformly.
+"""
+
+from repro.runtime.hashing import canonicalize, config_fingerprint, content_hash
+from repro.runtime.parallel import (
+    Runtime,
+    SimJob,
+    configure,
+    execute_job,
+    get_runtime,
+    reset,
+)
+from repro.runtime.store import CACHE_VERSION, ResultStore, cache_key, default_cache_dir
+
+__all__ = [
+    "CACHE_VERSION",
+    "ResultStore",
+    "Runtime",
+    "SimJob",
+    "cache_key",
+    "canonicalize",
+    "config_fingerprint",
+    "configure",
+    "content_hash",
+    "default_cache_dir",
+    "execute_job",
+    "get_runtime",
+    "reset",
+]

@@ -1,0 +1,50 @@
+"""Content hashing for configurations and simulation jobs.
+
+The disk cache and the ``alone_ipc`` memo must distinguish *every* field
+of a :class:`~repro.params.SystemConfig`.  A hand-picked tuple of
+"important" fields silently collides the moment a new knob is added —
+the seed repo's ``_config_key`` ignored ``dram.banks_per_channel`` and
+the APD drop thresholds, so two different systems shared one cache
+entry.  Hashing the canonical JSON form of the whole dataclass tree
+makes that class of bug structurally impossible: a new field changes the
+hash by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields, is_dataclass
+
+
+def canonicalize(obj):
+    """Reduce ``obj`` to JSON-serializable primitives, deterministically.
+
+    Dataclasses become ``{"__dataclass__": <type name>, <field>: ...}``
+    so two different dataclass types with identical field values do not
+    alias.  Tuples and lists both become lists; dict keys are sorted.
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        body = {f.name: canonicalize(getattr(obj, f.name)) for f in fields(obj)}
+        return {"__dataclass__": type(obj).__name__, **body}
+    if isinstance(obj, dict):
+        return {
+            str(key): canonicalize(value)
+            for key, value in sorted(obj.items(), key=lambda item: str(item[0]))
+        }
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for hashing")
+
+
+def content_hash(obj) -> str:
+    """SHA-256 over the canonical JSON encoding of ``obj``."""
+    payload = json.dumps(canonicalize(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config) -> str:
+    """Complete content hash of a SystemConfig (every field, every level)."""
+    return content_hash(config)

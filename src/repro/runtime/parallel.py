@@ -1,0 +1,209 @@
+"""Parallel, cache-aware execution of independent simulation jobs.
+
+:class:`SimJob` freezes one ``simulate()`` call into a hashable,
+picklable value; :class:`Runtime` runs batches of jobs — serving hits
+from the on-disk :class:`~repro.runtime.store.ResultStore`, deduplicating
+identical jobs within a batch, and fanning the misses out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` when more than one
+worker is configured.
+
+Because every simulation is fully deterministic in its seed, a job's
+result is identical whether it ran serially, in a worker process, or was
+loaded back from the cache — ``tests/test_parallel.py`` asserts this
+bit-for-bit across worker counts and cold/warm caches.
+
+Knobs (flag overrides env, env overrides default):
+
+* workers — ``--jobs N`` / ``$REPRO_JOBS`` (default 1 = serial;
+  0 = one per CPU core);
+* cache location — ``--cache-dir`` / ``$REPRO_CACHE_DIR``
+  (default ``~/.cache/repro``);
+* cache on/off — ``--no-cache`` / ``$REPRO_CACHE=0``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.params import SystemConfig
+from repro.runtime.hashing import canonicalize
+from repro.runtime.store import ResultStore, cache_key
+from repro.sim.results import SimResult
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One independent ``simulate()`` call, ready to hash, pickle or ship."""
+
+    config: SystemConfig
+    benchmarks: Tuple = ()
+    accesses: int = 0
+    seed: int = 0
+    # Extra simulate() keyword arguments as a sorted tuple of pairs so the
+    # job stays hashable (e.g. (("collect_service_times", True),)).
+    sim_kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, config, benchmarks, accesses, seed=0, **sim_kwargs) -> "SimJob":
+        return cls(
+            config=config,
+            benchmarks=tuple(benchmarks),
+            accesses=int(accesses),
+            seed=int(seed),
+            sim_kwargs=tuple(sorted(sim_kwargs.items())),
+        )
+
+    def payload(self) -> Dict:
+        """Canonical content of this job, for cache keying."""
+        return {
+            "config": canonicalize(self.config),
+            "benchmarks": [canonicalize(benchmark) for benchmark in self.benchmarks],
+            "accesses": self.accesses,
+            "seed": self.seed,
+            "sim_kwargs": canonicalize(dict(self.sim_kwargs)),
+        }
+
+    def key(self) -> str:
+        return cache_key(self)
+
+
+def execute_job(job: SimJob) -> SimResult:
+    """Run one job in this process (also the worker-side entry point)."""
+    # Late attribute lookup so tests can monkeypatch repro.sim.simulate.
+    import repro.sim
+
+    return repro.sim.simulate(
+        job.config,
+        list(job.benchmarks),
+        max_accesses_per_core=job.accesses,
+        seed=job.seed,
+        **dict(job.sim_kwargs),
+    )
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        except ValueError:
+            jobs = 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def _resolve_cache_enabled(enabled: Optional[bool]) -> bool:
+    if enabled is not None:
+        return enabled
+    return os.environ.get("REPRO_CACHE", "1").strip().lower() not in {
+        "0",
+        "off",
+        "false",
+        "no",
+    }
+
+
+class Runtime:
+    """Cache-aware serial/parallel executor for simulation jobs."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir=None,
+        cache_enabled: Optional[bool] = None,
+    ):
+        self.jobs = _resolve_jobs(jobs)
+        self.cache_enabled = _resolve_cache_enabled(cache_enabled)
+        self.store = ResultStore(cache_dir)
+
+    def run(self, job: SimJob) -> SimResult:
+        return self.run_many([job])[0]
+
+    def run_many(self, jobs: Sequence[SimJob]) -> List[SimResult]:
+        """Run a batch of independent jobs, preserving input order.
+
+        Cache hits never touch a worker; identical jobs within the batch
+        are computed once and fanned back to every requesting slot.
+        """
+        jobs = list(jobs)
+        results: List[Optional[SimResult]] = [None] * len(jobs)
+        pending: Dict[str, List[int]] = {}
+        misses: List[Tuple[str, SimJob]] = []
+        for index, job in enumerate(jobs):
+            key = job.key()
+            if key in pending:
+                pending[key].append(index)
+                continue
+            if self.cache_enabled:
+                hit = self.store.get(key)
+                if hit is not None:
+                    results[index] = hit
+                    continue
+            pending[key] = [index]
+            misses.append((key, job))
+        if misses:
+            computed = self._execute([job for _, job in misses])
+            for (key, _), result in zip(misses, computed):
+                if self.cache_enabled:
+                    self.store.put(key, result)
+                for index in pending[key]:
+                    results[index] = result
+        return results
+
+    def _execute(self, jobs: List[SimJob]) -> List[SimResult]:
+        if self.jobs > 1 and len(jobs) > 1:
+            workers = min(self.jobs, len(jobs))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(execute_job, jobs))
+        return [execute_job(job) for job in jobs]
+
+
+# -- the process-wide runtime -------------------------------------------------
+#
+# CLI flags install an explicit runtime via configure(); otherwise
+# get_runtime() builds one from the environment and rebuilds it whenever
+# the relevant variables change (tests flip them per-case).
+
+_CONFIGURED: Optional[Runtime] = None
+_ENV_RUNTIME: Optional[Runtime] = None
+_ENV_SNAPSHOT: Optional[Tuple] = None
+
+_ENV_VARS = ("REPRO_JOBS", "REPRO_CACHE_DIR", "REPRO_CACHE")
+
+
+def _env_snapshot() -> Tuple:
+    return tuple(os.environ.get(name) for name in _ENV_VARS)
+
+
+def get_runtime() -> Runtime:
+    """The active runtime: configure()'d one, else env-derived."""
+    global _ENV_RUNTIME, _ENV_SNAPSHOT
+    if _CONFIGURED is not None:
+        return _CONFIGURED
+    snapshot = _env_snapshot()
+    if _ENV_RUNTIME is None or snapshot != _ENV_SNAPSHOT:
+        _ENV_RUNTIME = Runtime()
+        _ENV_SNAPSHOT = snapshot
+    return _ENV_RUNTIME
+
+
+def configure(
+    jobs: Optional[int] = None,
+    cache_dir=None,
+    cache_enabled: Optional[bool] = None,
+) -> Runtime:
+    """Install an explicit process-wide runtime (CLI flags land here)."""
+    global _CONFIGURED
+    _CONFIGURED = Runtime(jobs=jobs, cache_dir=cache_dir, cache_enabled=cache_enabled)
+    return _CONFIGURED
+
+
+def reset() -> None:
+    """Drop any configured/env-derived runtime (test isolation)."""
+    global _CONFIGURED, _ENV_RUNTIME, _ENV_SNAPSHOT
+    _CONFIGURED = None
+    _ENV_RUNTIME = None
+    _ENV_SNAPSHOT = None

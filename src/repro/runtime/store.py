@@ -1,0 +1,99 @@
+"""On-disk cache of :class:`~repro.sim.results.SimResult` objects.
+
+Layout: one JSON file per entry under the cache root (default
+``~/.cache/repro``, overridable with ``$REPRO_CACHE_DIR`` or the
+``--cache-dir`` CLI flag), named ``<key>.json`` where ``key`` is the
+SHA-256 of the job's complete content (config + workload + accesses +
+seed + simulate kwargs) combined with :data:`CACHE_VERSION`.
+
+Invalidation rules:
+
+* any changed config field, benchmark, access count, seed or simulate
+  kwarg changes the key (see :mod:`repro.runtime.hashing`);
+* bumping :data:`CACHE_VERSION` orphans every existing entry — do this
+  whenever simulator semantics change so stale results stop matching;
+* unreadable/corrupt entries are treated as misses and recomputed.
+
+Writes go through a temp file + :func:`os.replace`, so concurrent
+processes can safely share one cache directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.runtime.hashing import content_hash
+from repro.sim.results import SimResult
+
+# Code-version stamp baked into every cache key.  Bump on any change to
+# simulator semantics or the SimResult schema.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = "~/.cache/repro"
+
+
+def default_cache_dir() -> Path:
+    """Cache root: $REPRO_CACHE_DIR if set, else ~/.cache/repro."""
+    return Path(os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR).expanduser()
+
+
+def cache_key(job) -> str:
+    """Cache key for one simulation job: full content hash + version stamp."""
+    return content_hash({"version": CACHE_VERSION, "job": job.payload()})
+
+
+class ResultStore:
+    """A directory of serialized SimResults, addressed by content key."""
+
+    def __init__(self, root=None):
+        self._root = Path(root).expanduser() if root is not None else None
+
+    @property
+    def root(self) -> Path:
+        return self._root if self._root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimResult]:
+        """Load an entry, or None on miss/corruption."""
+        try:
+            with open(self.path_for(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            return SimResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, key: str, result: SimResult) -> Path:
+        """Atomically persist one entry; returns its path."""
+        root = self.root
+        root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        payload = {"key": key, "version": CACHE_VERSION, "result": result.to_dict()}
+        descriptor, tmp_name = tempfile.mkstemp(dir=str(root), suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.root.glob("*.json"))
+        except OSError:
+            return 0

@@ -8,7 +8,7 @@ ACC/COV, RBHU, SPL) live in :mod:`repro.metrics`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 
@@ -108,6 +108,14 @@ class CoreResult:
         )
         return useful_hits / useful_requests
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "CoreResult":
+        return cls(**payload)
+
 
 @dataclass
 class SimResult:
@@ -147,6 +155,21 @@ class SimResult:
             "pref-useful": sum(c.useful_prefetch_traffic for c in self.cores),
             "pref-useless": sum(c.useless_prefetch_traffic for c in self.cores),
         }
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form; inverse of :meth:`from_dict`.
+
+        The round-trip is exact — ints stay ints and floats survive via
+        shortest-repr JSON — so a cached result is interchangeable with
+        a live one (asserted in tests/test_result_cache.py).
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SimResult":
+        rest = {key: value for key, value in payload.items() if key != "cores"}
+        cores = [CoreResult.from_dict(core) for core in payload["cores"]]
+        return cls(cores=cores, **rest)
 
     def summary(self) -> Dict[str, float]:
         """Compact scalar summary for tables and benchmarks."""

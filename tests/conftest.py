@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro import runtime as repro_runtime
+
 from repro.params import (
     CacheConfig,
     CoreConfig,
@@ -12,6 +14,22 @@ from repro.params import (
     SystemConfig,
     baseline_config,
 )
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runtime(tmp_path, monkeypatch):
+    """Point the result cache at a per-test directory, never ~/.cache.
+
+    Also drops any runtime installed by a previous test's configure()
+    call, so every test starts from the env-derived default (serial,
+    cache enabled, private directory).
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    repro_runtime.reset()
+    yield
+    repro_runtime.reset()
 
 
 @pytest.fixture

@@ -1,0 +1,167 @@
+"""Serial/parallel/cached equivalence for the experiment runtime.
+
+The tentpole guarantee: a simulation job returns bit-identical results
+whether it runs serially in-process, fans out over worker processes, or
+is served back from the on-disk cache.  Every test here compares full
+``SimResult.to_dict()`` trees (every counter of every core), not just
+headline metrics.
+"""
+
+import pytest
+
+from repro import runtime, sim
+from repro.experiments import Scale, run_experiment
+from repro.experiments.runner import (
+    _ALONE_CACHE,
+    alone_ipcs,
+    run_policies,
+    speedup_metrics,
+)
+from repro.params import baseline_config
+from repro.runtime import Runtime, SimJob
+
+MIX = ["swim", "milc"]
+POLICIES = ("demand-first", "padc")
+ACCESSES = 400
+SEED = 3
+
+
+def _run_and_measure():
+    """One run_policies sweep plus its WS/HS/UF, from a clean alone-memo."""
+    _ALONE_CACHE.clear()
+    runs = run_policies(MIX, ACCESSES, policies=POLICIES, seed=SEED)
+    metrics = {
+        policy: speedup_metrics(runs[policy], MIX, ACCESSES, seed=SEED)
+        for policy in POLICIES
+    }
+    return {policy: runs[policy].to_dict() for policy in POLICIES}, metrics
+
+
+@pytest.fixture()
+def serial_reference():
+    """The ground truth: serial, cache disabled."""
+    runtime.configure(jobs=1, cache_enabled=False)
+    results, metrics = _run_and_measure()
+    runtime.reset()
+    return results, metrics
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    @pytest.mark.parametrize("warm", [False, True], ids=["cold", "warm"])
+    def test_run_policies_identical(self, jobs, warm, tmp_path, serial_reference):
+        reference_results, reference_metrics = serial_reference
+        runtime.configure(jobs=jobs, cache_dir=str(tmp_path / "cache"))
+        if warm:
+            _run_and_measure()  # prime the cache, then measure against it
+        results, metrics = _run_and_measure()
+        assert results == reference_results
+        assert metrics == reference_metrics
+
+    def test_alone_ipcs_match_serial(self, tmp_path, serial_reference):
+        runtime.configure(jobs=1, cache_enabled=False)
+        _ALONE_CACHE.clear()
+        reference = alone_ipcs(MIX, ACCESSES, seed=SEED)
+        runtime.configure(jobs=2, cache_dir=str(tmp_path / "cache"))
+        _ALONE_CACHE.clear()
+        assert alone_ipcs(MIX, ACCESSES, seed=SEED) == reference
+
+
+class TestWarmCacheSkipsSimulation:
+    def _counting(self, monkeypatch):
+        calls = []
+        real = sim.simulate
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(sim, "simulate", counting)
+        return calls
+
+    def test_run_policies_warm_rerun_is_simulation_free(self, tmp_path, monkeypatch):
+        runtime.configure(jobs=1, cache_dir=str(tmp_path / "cache"))
+        calls = self._counting(monkeypatch)
+        _run_and_measure()
+        cold = len(calls)
+        assert cold == len(POLICIES) + len(MIX)  # sweep + alone runs
+        _run_and_measure()
+        assert len(calls) == cold
+
+    def test_experiment_warm_rerun_is_simulation_free(self, tmp_path, monkeypatch):
+        scale = Scale(
+            accesses=300,
+            mixes_2core=1,
+            mixes_4core=1,
+            mixes_8core=1,
+            single_core_benches=2,
+        )
+        runtime.configure(jobs=2, cache_dir=str(tmp_path / "cache"))
+        _ALONE_CACHE.clear()
+        cold = run_experiment("fig09", scale)
+        calls = self._counting(monkeypatch)
+        _ALONE_CACHE.clear()
+        warm = run_experiment("fig09", scale)
+        assert calls == []
+        assert warm.rows == cold.rows
+
+    def test_identical_jobs_in_one_batch_computed_once(self, tmp_path, monkeypatch):
+        calls = self._counting(monkeypatch)
+        executor = Runtime(jobs=1, cache_dir=str(tmp_path / "cache"))
+        job = SimJob.make(baseline_config(1), ["swim"], 300, seed=1)
+        first, second = executor.run_many([job, job])
+        assert len(calls) == 1
+        assert first.to_dict() == second.to_dict()
+
+
+class TestRuntimeKnobs:
+    def test_jobs_defaults_serial(self):
+        assert Runtime().jobs == 1
+
+    def test_jobs_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert Runtime().jobs == 4
+        assert runtime.get_runtime().jobs == 4
+
+    def test_jobs_zero_means_all_cores(self):
+        import os
+
+        assert Runtime(jobs=0).jobs == (os.cpu_count() or 1)
+
+    def test_flag_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert Runtime(jobs=2).jobs == 2
+
+    def test_configure_installs_and_reset_clears(self, tmp_path):
+        installed = runtime.configure(jobs=3, cache_dir=str(tmp_path))
+        assert runtime.get_runtime() is installed
+        runtime.reset()
+        assert runtime.get_runtime() is not installed
+
+    def test_env_change_rebuilds_runtime(self, monkeypatch):
+        first = runtime.get_runtime()
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        rebuilt = runtime.get_runtime()
+        assert rebuilt is not first
+        assert rebuilt.jobs == 2
+
+    def test_sim_kwargs_round_trip_through_parallel(self, tmp_path):
+        runtime.configure(jobs=1, cache_enabled=False)
+        config = baseline_config(1, policy="demand-first")
+        reference = sim.simulate(
+            config,
+            ["milc"],
+            max_accesses_per_core=400,
+            seed=0,
+            collect_service_times=True,
+        )
+        runtime.configure(jobs=2, cache_dir=str(tmp_path / "cache"))
+        jobs = [
+            SimJob.make(config, ["milc"], 400, seed=0, collect_service_times=True),
+            SimJob.make(config, ["swim"], 400, seed=0, collect_service_times=True),
+        ]
+        milc, _ = runtime.get_runtime().run_many(jobs)
+        assert milc.to_dict() == reference.to_dict()
+        # A second, cache-served pass is still identical.
+        milc_cached, _ = runtime.get_runtime().run_many(jobs)
+        assert milc_cached.to_dict() == reference.to_dict()

@@ -1,10 +1,15 @@
 """Tests for the experiment runner helpers."""
 
+import dataclasses
+from dataclasses import replace
+
 from repro.experiments.runner import (
     SCALES,
     Scale,
     _ALONE_CACHE,
+    _config_key,
     alone_ipc,
+    alone_ipcs,
     average,
     run_policies,
     speedup_metrics,
@@ -70,12 +75,55 @@ class TestSpeedupMetrics:
 
 
 class TestScales:
-    def test_three_scales_defined(self):
-        assert set(SCALES) == {"quick", "medium", "paper"}
+    def test_four_scales_defined(self):
+        assert set(SCALES) == {"tiny", "quick", "medium", "paper"}
         assert SCALES["paper"].mixes_2core == 54
         assert SCALES["paper"].mixes_4core == 32
         assert SCALES["paper"].mixes_8core == 21
 
+    def test_scales_monotonically_ordered(self):
+        ordered = [SCALES[name] for name in ("tiny", "quick", "medium", "paper")]
+        for smaller, larger in zip(ordered, ordered[1:]):
+            for field in dataclasses.fields(Scale):
+                assert getattr(smaller, field.name) <= getattr(larger, field.name), (
+                    f"{field.name} not monotonic between scales"
+                )
+
     def test_average(self):
         assert average([1.0, 3.0]) == 2.0
         assert average([]) == 0.0
+
+
+class TestConfigKey:
+    """The memo key must cover *every* config field (regression).
+
+    The old ``_config_key`` enumerated eight hand-picked fields; configs
+    differing only in anything else — ``dram.banks_per_channel``, the APD
+    drop thresholds — silently shared one ``alone_ipc`` cache entry.
+    """
+
+    def test_none_config_keys_as_none(self):
+        assert _config_key(None) is None
+
+    def test_distinguishes_fields_outside_the_old_tuple(self):
+        base = baseline_config(1)
+        fewer_banks = replace(
+            base, dram=replace(base.dram, banks_per_channel=2)
+        )
+        eager_drop = replace(
+            base, padc=replace(base.padc, drop_thresholds=((1.01, 10),))
+        )
+        keys = {_config_key(base), _config_key(fewer_banks), _config_key(eager_drop)}
+        assert len(keys) == 3
+
+    def test_alone_ipc_entries_no_longer_collide(self):
+        _ALONE_CACHE.clear()
+        base = baseline_config(1, policy="demand-first")
+        fewer_banks = replace(base, dram=replace(base.dram, banks_per_channel=2))
+        default = alone_ipc("swim", 400, config=base, seed=3)
+        varied = alone_ipc("swim", 400, config=fewer_banks, seed=3)
+        # Under the old key both calls would have hit one entry (and
+        # returned the same IPC by construction); now each config gets
+        # its own entry and its own simulation.
+        assert len([key for key in _ALONE_CACHE if key[0] == "swim"]) == 2
+        assert default != varied
