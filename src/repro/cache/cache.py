@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.params import CacheConfig
 
@@ -141,6 +141,20 @@ class L2Cache:
     @property
     def resident_lines(self) -> int:
         return sum(len(s) for s in self._sets)
+
+    def unused_prefetched_by_core(self) -> Dict[int, int]:
+        """Count of resident never-used prefetched lines, per owning core.
+
+        Used by checked mode to close the pf_sent conservation law:
+        every sent prefetch is dropped, used, evicted unused, in flight,
+        or sitting in the cache with its P bit still set.
+        """
+        counts: Dict[int, int] = {}
+        for cache_set in self._sets:
+            for line in cache_set.values():
+                if line.prefetched and not line.ever_used:
+                    counts[line.core_id] = counts.get(line.core_id, 0) + 1
+        return counts
 
     def hit_rate(self) -> float:
         total = self.demand_hits + self.demand_misses

@@ -45,6 +45,10 @@ class MSHR:
         self.capacity = entries
         self._entries: Dict[int, MSHREntry] = {}
         self.allocation_failures = 0
+        # Lifetime counters: occupancy must always equal
+        # total_allocated - total_freed (audited by repro.validate).
+        self.total_allocated = 0
+        self.total_freed = 0
 
     def get(self, line_addr: int) -> Optional[MSHREntry]:
         return self._entries.get(line_addr)
@@ -61,11 +65,19 @@ class MSHR:
             raise ValueError(f"duplicate MSHR allocation for line 0x{line_addr:x}")
         entry = MSHREntry(line_addr, request)
         self._entries[line_addr] = entry
+        self.total_allocated += 1
         return entry
 
     def free(self, line_addr: int) -> Optional[MSHREntry]:
         """Release the entry (on fill completion or prefetch drop)."""
-        return self._entries.pop(line_addr, None)
+        entry = self._entries.pop(line_addr, None)
+        if entry is not None:
+            self.total_freed += 1
+        return entry
+
+    def entries(self) -> List[MSHREntry]:
+        """Snapshot of the in-flight entries (used by validation)."""
+        return list(self._entries.values())
 
     @property
     def occupancy(self) -> int:

@@ -91,6 +91,12 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="do not read or write the on-disk result cache",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="checked mode: audit simulator invariants at every interval "
+        "boundary and end-of-sim (also $REPRO_CHECK=1)",
+    )
 
 
 def _configure_runtime(args):
@@ -123,8 +129,9 @@ def _cmd_simulate(args) -> int:
         runahead=args.runahead,
     )
     runtime = _configure_runtime(args)
+    sim_kwargs = {"check": True} if args.check else {}
     result = runtime.run(
-        SimJob.make(config, benchmarks, args.accesses, seed=args.seed)
+        SimJob.make(config, benchmarks, args.accesses, seed=args.seed, **sim_kwargs)
     )
     print(f"policy={args.policy} cycles={result.total_cycles}")
     print(
@@ -147,7 +154,13 @@ def _cmd_simulate(args) -> int:
     if args.alone and args.cores > 1:
         alone_config = baseline_config(1, policy="demand-first")
         alone_jobs = [
-            SimJob.make(alone_config, [benchmark], args.accesses, seed=args.seed + index)
+            SimJob.make(
+                alone_config,
+                [benchmark],
+                args.accesses,
+                seed=args.seed + index,
+                **sim_kwargs,
+            )
             for index, benchmark in enumerate(benchmarks)
         ]
         alone = [run.cores[0].ipc for run in runtime.run_many(alone_jobs)]
@@ -197,6 +210,8 @@ def _cmd_experiment(args) -> int:
         argv += ["--cache-dir", args.cache_dir]
     if args.no_cache:
         argv.append("--no-cache")
+    if args.check:
+        argv.append("--check")
     return experiments_main(argv)
 
 

@@ -35,7 +35,13 @@ class AdaptivePrefetchDropper:
         if not request.is_prefetch:
             return False
         threshold = self.tracker.drop_threshold[request.core_id]
-        age_ticks = (now - request.arrival) // self.age_granularity
+        # Table 6 semantics: drop once the age exceeds the threshold.  The
+        # age is only known at AGE-counter granularity, so quantize it *up*
+        # — the first tick strictly past the threshold triggers the drop.
+        # (Flooring both sides let a request live a full extra granularity
+        # window: with threshold=100 and granularity=100 it survived to
+        # age 200 instead of being dropped just past 100.)
+        age_ticks = -(-(now - request.arrival) // self.age_granularity)
         return age_ticks > threshold // self.age_granularity
 
     def record_drop(self, request: MemRequest) -> None:

@@ -41,6 +41,7 @@ class ControllerStats:
         "dropped_prefetches",
         "prefetches_rejected_full",
         "demand_overflows",
+        "enqueued_total",
     )
 
     def __init__(self):
@@ -51,6 +52,14 @@ class ControllerStats:
         self.dropped_prefetches = 0
         self.prefetches_rejected_full = 0
         self.demand_overflows = 0
+        # Every request accepted into the controller (buffer or overflow
+        # FIFO).  Closes the lifecycle conservation law audited by
+        # repro.validate: enqueued == serviced + dropped + still queued.
+        self.enqueued_total = 0
+
+    @property
+    def serviced_total(self) -> int:
+        return self.scheduled_demands + self.scheduled_prefetches
 
 
 class DRAMControllerEngine:
@@ -113,12 +122,14 @@ class DRAMControllerEngine:
         if self._occupancy[channel] >= self.config.request_buffer_size:
             self.stats.prefetches_rejected_full += 1
             return False
+        self.stats.enqueued_total += 1
         self._admit(request)
         return True
 
     def enqueue_demand(self, request: MemRequest) -> None:
         """Admit a demand; overflows wait in FIFO order for a free entry."""
         channel = request.channel
+        self.stats.enqueued_total += 1
         if self._occupancy[channel] >= self.config.request_buffer_size:
             self.stats.demand_overflows += 1
             self._overflow[channel].append(request)
@@ -127,18 +138,35 @@ class DRAMControllerEngine:
 
     def _admit(self, request: MemRequest) -> None:
         self._queues[request.channel][request.bank].append(request)
-        self._index[request.channel][request.line_addr] = request
+        # Writebacks stay out of the line-address index: they never match a
+        # demand, and indexing them let a writeback to line X silently evict
+        # the index entry of a queued read/prefetch to the same line, making
+        # find_queued lie about in-buffer requests.
+        if not request.is_write:
+            self._index[request.channel][request.line_addr] = request
         self._occupancy[request.channel] += 1
 
+    def _unindex(self, request: MemRequest) -> None:
+        """Drop ``request`` from the line-address index (identity-guarded)."""
+        if request.is_write:
+            return
+        index = self._index[request.channel]
+        if index.get(request.line_addr) is request:
+            del index[request.line_addr]
+
     def _remove(self, request: MemRequest) -> None:
-        self._index[request.channel].pop(request.line_addr, None)
+        self._unindex(request)
         self._occupancy[request.channel] -= 1
         self._drain_overflow(request.channel)
 
     # -- demand matching -----------------------------------------------------
 
     def find_queued(self, line_addr: int, channel: int) -> Optional[MemRequest]:
-        """Look up an in-buffer request by line address (for promotion)."""
+        """Look up an in-buffer read/prefetch by line address (for promotion).
+
+        Writebacks are not indexed — a queued writeback to the same line
+        never shadows the read/prefetch entry.
+        """
         return self._index[channel].get(line_addr)
 
     # -- scheduling ----------------------------------------------------------
@@ -199,7 +227,7 @@ class DRAMControllerEngine:
     def _drop(self, request: MemRequest) -> None:
         # Overflow draining is deferred to the end of the scan: admitting a
         # waiting demand here could append to the bank queue being iterated.
-        self._index[request.channel].pop(request.line_addr, None)
+        self._unindex(request)
         self._occupancy[request.channel] -= 1
         self.dropper.record_drop(request)
         self.stats.dropped_prefetches += 1
@@ -247,6 +275,18 @@ class DRAMControllerEngine:
 
     def queued_requests(self, channel_id: int) -> List[MemRequest]:
         return [request for queue in self._queues[channel_id] for request in queue]
+
+    def bank_queues(self, channel_id: int) -> List[List[MemRequest]]:
+        """Per-bank queues of one channel (read-only; used by validation)."""
+        return self._queues[channel_id]
+
+    def overflow_requests(self, channel_id: int) -> List[MemRequest]:
+        """Demands waiting in the overflow FIFO (used by validation)."""
+        return list(self._overflow[channel_id])
+
+    def indexed_requests(self, channel_id: int) -> Dict[int, MemRequest]:
+        """Snapshot of the line-address index (used by validation)."""
+        return dict(self._index[channel_id])
 
     def total_lines_transferred(self) -> int:
         return sum(channel.lines_transferred for channel in self.channels)

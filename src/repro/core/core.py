@@ -37,6 +37,7 @@ class CoreState:
         "loads",
         "l2_hits",
         "l2_misses",
+        "mshr_stalls",
         "runahead_issued",
     )
 
@@ -66,6 +67,7 @@ class CoreState:
         self.loads = 0
         self.l2_hits = 0
         self.l2_misses = 0
+        self.mshr_stalls = 0
         self.runahead_issued = 0
 
     # -- trace consumption --------------------------------------------------

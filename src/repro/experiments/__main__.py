@@ -17,6 +17,7 @@ same scale and seeds performs no new simulation work.  ``--no-cache``
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -56,11 +57,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not read or write the on-disk result cache",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="checked mode: audit simulator invariants in every simulation "
+        "(sets $REPRO_CHECK=1 so worker processes inherit it)",
+    )
     return parser
 
 
 def main(argv) -> int:
     args = _build_parser().parse_args(argv)
+    if args.check:
+        # Env rather than a kwarg so that ProcessPoolExecutor workers (and
+        # every simulate() call inside the experiment generators) inherit it.
+        os.environ["REPRO_CHECK"] = "1"
     names = [name for name in args.names if name != "all"]
     if args.run_all or len(names) != len(args.names):
         names = sorted(REGISTRY)

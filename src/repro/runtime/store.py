@@ -31,7 +31,9 @@ from repro.sim.results import SimResult
 
 # Code-version stamp baked into every cache key.  Bump on any change to
 # simulator semantics or the SimResult schema.
-CACHE_VERSION = 1
+# v2: APD drop-age fix, FDP retry single-counting, writeback index fix,
+#     new CoreResult fields (pf_evicted_unused, mshr_stalls).
+CACHE_VERSION = 2
 
 DEFAULT_CACHE_DIR = "~/.cache/repro"
 

@@ -32,6 +32,12 @@ class CoreResult:
     pf_rejected_full: int = 0
     pf_filtered: int = 0
     pf_mshr_rejected: int = 0
+    # Prefetched lines evicted from the L2 without ever being used; with
+    # the in-flight and still-resident populations this closes the
+    # pf_sent conservation law audited by repro.validate.
+    pf_evicted_unused: int = 0
+    # Accesses that found the MSHR file full and had to stall/retry.
+    mshr_stalls: int = 0
     # Bus traffic in cache lines, by category (paper Figure 8).
     demand_fills: int = 0
     promoted_fills: int = 0

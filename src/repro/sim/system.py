@@ -37,6 +37,7 @@ from repro.prefetch.base import make_prefetcher
 from repro.prefetch.ddpf import DDPFFilter
 from repro.prefetch.fdp import FDPController
 from repro.sim.results import CoreResult, SimResult
+from repro.validate.checker import InvariantChecker, check_enabled
 from repro.workloads.profiles import BenchmarkProfile, get_profile
 from repro.workloads.synthetic import SyntheticTraceGenerator
 
@@ -65,6 +66,7 @@ class System:
         benchmarks: Sequence[ProfileLike],
         seed: int = 0,
         collect_service_times: bool = False,
+        check: Optional[bool] = None,
     ):
         if len(benchmarks) != config.num_cores:
             raise ValueError(
@@ -153,6 +155,13 @@ class System:
             RefreshScheduler.from_dram_config(config.dram)
             for _ in range(config.dram.num_channels)
         ]
+        # Checked mode: audit conservation laws at interval boundaries and
+        # end-of-sim.  ``check=None`` defers to the $REPRO_CHECK knob.
+        if check is None:
+            check = check_enabled()
+        self.checker: Optional[InvariantChecker] = (
+            InvariantChecker(self) if check else None
+        )
 
     # -- event plumbing ------------------------------------------------------
 
@@ -260,12 +269,16 @@ class System:
             self._run_prefetcher(core_id, line, True, entry.pc, now)
         else:
             if not retry:
+                # FDP feedback counts architectural misses, so it shares the
+                # retry guard: an access that stalled on a full MSHR file and
+                # came back is still *one* miss, not two (and the pollution
+                # filter probe is consuming, so it must not run twice either).
                 core.l2_misses += 1
-            fdp = self._fdp[core_id]
-            if fdp is not None:
-                fdp.demand_misses += 1
-                if fdp.pollution_filter.check_miss(line):
-                    fdp.pollution_misses += 1
+                fdp = self._fdp[core_id]
+                if fdp is not None:
+                    fdp.demand_misses += 1
+                    if fdp.pollution_filter.check_miss(line):
+                        fdp.pollution_misses += 1
             mshr_entry = mshr.get(line)
             if mshr_entry is not None:
                 request = mshr_entry.request
@@ -284,6 +297,7 @@ class System:
                     core.stalled = True
                     core.waiting_mshr = True
                     core.stall_start = now
+                    core.mshr_stalls += 1
                     self._mshr_waiters.setdefault(id(mshr), []).append(core_id)
                     return
                 request = self.engine.build_request(line, core_id, False, now)
@@ -468,6 +482,7 @@ class System:
             if evicted.dirty:
                 self._issue_writeback(evicted.core_id, evicted.line_addr, now)
             if evicted.prefetched_unused:
+                self.results[evicted.core_id].pf_evicted_unused += 1
                 self._note_unused_prefetch(evicted.core_id, evicted.line_addr)
             elif request.is_prefetch:
                 fdp = self._fdp[core_id]
@@ -540,6 +555,10 @@ class System:
     # -- interval events -------------------------------------------------------------
 
     def _handle_interval(self, now: int) -> None:
+        if self.checker is not None:
+            # Audit before end_interval resets PSC/PUC: the checker compares
+            # the live interval counters against the per-core stat deltas.
+            self.checker.on_interval(now)
         self.tracker.end_interval()
         for fdp in self._fdp:
             if fdp is not None:
@@ -563,6 +582,7 @@ class System:
             stats.stall_cycles = core.stall_cycles
             stats.l2_hits = core.l2_hits
             stats.l2_misses = core.l2_misses
+            stats.mshr_stalls = core.mshr_stalls
         engine_stats = self.engine.stats
         total_row_hits = sum(
             bank.hits for channel in self.engine.channels for bank in channel.banks
@@ -572,6 +592,8 @@ class System:
             for channel in self.engine.channels
             for bank in channel.banks
         )
+        if self.checker is not None:
+            self.checker.on_end(end_time)
         return SimResult(
             policy=self.config.policy,
             cores=self.results,
@@ -594,12 +616,18 @@ def simulate(
     seed: int = 0,
     max_cycles: Optional[int] = None,
     collect_service_times: bool = False,
+    check: Optional[bool] = None,
 ) -> SimResult:
-    """Build a :class:`System` and run it — the one-call entry point."""
+    """Build a :class:`System` and run it — the one-call entry point.
+
+    ``check=True`` (or ``$REPRO_CHECK=1`` with ``check=None``) runs the
+    simulation under the :mod:`repro.validate` invariant auditor.
+    """
     system = System(
         config,
         benchmarks,
         seed=seed,
         collect_service_times=collect_service_times,
+        check=check,
     )
     return system.run(max_accesses_per_core, max_cycles=max_cycles)

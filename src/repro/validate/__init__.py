@@ -1,0 +1,29 @@
+"""Checked-mode invariant auditing for the simulator.
+
+The whole reproduction rests on counter fidelity: PAR = PUC/PSC drives
+both APS criticality and the APD drop thresholds (paper §4.1-4.3), so a
+miscounted stat silently bends every headline figure.  This package makes
+such bugs loud instead of silent:
+
+* :class:`~repro.validate.checker.InvariantChecker` — attaches to a
+  running :class:`~repro.sim.system.System` and audits conservation laws
+  at every accuracy-interval boundary and at end-of-sim.  Enable it with
+  ``REPRO_CHECK=1``, the ``--check`` CLI flag, or ``simulate(...,
+  check=True)``.
+* :mod:`repro.validate.differential` — runs one workload under several
+  rigid scheduling policies and asserts the cross-policy invariants the
+  paper implies (scheduling changes *when* work happens, never *how
+  much*).  ``python -m repro.validate`` is a tiny smoke entry point.
+
+Only the checker is imported here (it is stdlib-only, so the simulator
+can import it without cycles); import the differential harness explicitly
+from :mod:`repro.validate.differential`.
+"""
+
+from repro.validate.checker import (
+    InvariantChecker,
+    InvariantViolation,
+    check_enabled,
+)
+
+__all__ = ["InvariantChecker", "InvariantViolation", "check_enabled"]

@@ -1,0 +1,89 @@
+"""Differential smoke run: ``python -m repro.validate``.
+
+Runs one workload under every rigid scheduling policy with per-run
+checked mode on, asserts the cross-policy invariants, then repeats with
+prefetching disabled and asserts exact work equality.  Exits non-zero on
+the first violation — CI runs this at tiny scale as the multi-policy
+smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.validate.differential import (
+    EQUAL_WORK_POLICIES,
+    RIGID_POLICIES,
+    DifferentialViolation,
+    differential_audit,
+    differential_equal_work_audit,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.validate",
+        description="Checked-mode differential audit across scheduling policies",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default="swim,art",
+        help="comma-separated benchmark names (one per core)",
+    )
+    parser.add_argument("--accesses", type=int, default=2_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes (0 = one per CPU core; default $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.jobs is not None or args.no_cache:
+        from repro import runtime
+
+        runtime.configure(
+            jobs=args.jobs, cache_enabled=False if args.no_cache else None
+        )
+    benchmarks = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
+    try:
+        results = differential_audit(
+            benchmarks, args.accesses, policies=RIGID_POLICIES, seed=args.seed
+        )
+        for policy, result in results.items():
+            print(
+                f"[rigid]      {policy:<24} cycles={result.total_cycles:>9} "
+                f"fills={result.total_traffic:>7}"
+            )
+        equal = differential_equal_work_audit(
+            benchmarks, args.accesses, policies=EQUAL_WORK_POLICIES, seed=args.seed
+        )
+        for policy, result in equal.items():
+            print(
+                f"[equal-work] {policy:<24} cycles={result.total_cycles:>9} "
+                f"fills={result.total_traffic:>7}"
+            )
+    except DifferentialViolation as violation:
+        print(f"FAIL: {violation}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {len(benchmarks)}-core workload, {args.accesses} accesses/core, "
+        f"{len(results) + len(equal)} checked simulations, all invariants hold"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,188 @@
+"""Differential cross-policy auditing.
+
+The paper's rigid policies (demand-first, demand-prefetch-equal,
+prefetch-first) only change the *order* in which the DRAM controller
+services requests — never the trace a core executes.  That implies two
+families of invariants this harness asserts over one workload run under
+every policy:
+
+* **Universal** (any configuration): per-core loads and instruction
+  counts are trace-determined, so they must be identical across policies,
+  and every access must resolve to exactly one of an L2 hit or miss.
+
+* **Equal-work** (prefetching disabled): with zero prefetches in the
+  buffers, every FR-FCFS variant ranks the all-demand queues identically
+  — the P-bit component of each priority tuple is constant — so the
+  simulations evolve identically and the *work* must match exactly:
+  demand fills, writebacks, hits/misses, bus traffic, even total cycles.
+  A divergence means some policy-dependent state leaked into the demand
+  path (precisely the class of bug that silently bends the paper's
+  figures).
+
+Runs are submitted through :mod:`repro.runtime` (parallel across
+``--jobs`` workers, served from the on-disk cache) with per-run checked
+mode on by default, so each simulation is also audited internally by
+:class:`~repro.validate.checker.InvariantChecker`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.params import SystemConfig, baseline_config
+from repro.runtime import SimJob, get_runtime
+from repro.sim.results import SimResult
+from repro.validate.checker import InvariantViolation
+
+RIGID_POLICIES = ("demand-first", "demand-prefetch-equal", "prefetch-first")
+
+# Policies whose demand-only schedules are provably identical (all reduce
+# to FR-FCFS when no request carries the P bit).
+EQUAL_WORK_POLICIES = ("no-pref",) + RIGID_POLICIES
+
+
+class DifferentialViolation(InvariantViolation):
+    """A cross-policy invariant failed."""
+
+
+def _raise_if(violations: List[str], context: str) -> None:
+    if violations:
+        details = "\n  - ".join(violations)
+        raise DifferentialViolation(
+            f"differential audit failed ({context}, "
+            f"{len(violations)} violation(s)):\n  - {details}"
+        )
+
+
+def assert_universal_invariants(results: Dict[str, SimResult]) -> None:
+    """Trace-determined facts that hold across *any* scheduling policies."""
+    violations: List[str] = []
+    policies = list(results)
+    reference = results[policies[0]]
+    for policy, result in results.items():
+        for core in result.cores:
+            if core.l2_hits + core.l2_misses != core.loads:
+                violations.append(
+                    f"{policy}/core{core.core_id}: hits {core.l2_hits} + "
+                    f"misses {core.l2_misses} != loads {core.loads}"
+                )
+        for base_core, core in zip(reference.cores, result.cores):
+            if core.loads != base_core.loads:
+                violations.append(
+                    f"{policy}/core{core.core_id}: loads {core.loads} != "
+                    f"{base_core.loads} under {policies[0]} (the trace fixes "
+                    f"the access count; scheduling cannot change it)"
+                )
+            if core.instructions != base_core.instructions:
+                violations.append(
+                    f"{policy}/core{core.core_id}: instructions "
+                    f"{core.instructions} != {base_core.instructions} under "
+                    f"{policies[0]}"
+                )
+    _raise_if(violations, "universal invariants")
+
+
+def assert_equal_work(results: Dict[str, SimResult]) -> None:
+    """Exact work equality for demand-only runs (prefetching disabled)."""
+    violations: List[str] = []
+    policies = list(results)
+    reference = results[policies[0]]
+    per_core_fields = (
+        "loads",
+        "l2_hits",
+        "l2_misses",
+        "demand_fills",
+        "writeback_fills",
+        "cycles",
+        "stall_cycles",
+    )
+    for policy, result in results.items():
+        for core in result.cores:
+            if core.pf_sent or core.pf_used or core.pf_dropped:
+                violations.append(
+                    f"{policy}/core{core.core_id}: prefetch counters moved "
+                    f"(sent={core.pf_sent}) in a prefetch-disabled run"
+                )
+        for base_core, core in zip(reference.cores, result.cores):
+            for field in per_core_fields:
+                ours, base = getattr(core, field), getattr(base_core, field)
+                if ours != base:
+                    violations.append(
+                        f"{policy}/core{core.core_id}: {field} {ours} != "
+                        f"{base} under {policies[0]} (demand-only schedules "
+                        f"must be identical)"
+                    )
+        if result.bus_traffic_lines != reference.bus_traffic_lines:
+            violations.append(
+                f"{policy}: bus traffic {result.bus_traffic_lines} != "
+                f"{reference.bus_traffic_lines} under {policies[0]}"
+            )
+    _raise_if(violations, "equal-work invariants")
+
+
+def _run_batch(
+    benchmarks: Sequence,
+    accesses: int,
+    policies: Sequence[str],
+    seed: int,
+    config_builder: Callable[[str], SystemConfig],
+    check: bool,
+) -> Dict[str, SimResult]:
+    jobs = [
+        SimJob.make(
+            config_builder(policy), benchmarks, accesses, seed=seed, check=check
+        )
+        for policy in policies
+    ]
+    return dict(zip(policies, get_runtime().run_many(jobs)))
+
+
+def differential_audit(
+    benchmarks: Sequence,
+    accesses: int,
+    policies: Sequence[str] = RIGID_POLICIES,
+    seed: int = 0,
+    config_builder: Optional[Callable[[str], SystemConfig]] = None,
+    check: bool = True,
+) -> Dict[str, SimResult]:
+    """Run one workload under several policies; assert universal invariants.
+
+    Returns the per-policy results (also individually audited by checked
+    mode unless ``check=False``).
+    """
+    if config_builder is None:
+        config_builder = lambda policy: baseline_config(
+            len(benchmarks), policy=policy
+        )
+    results = _run_batch(
+        benchmarks, accesses, policies, seed, config_builder, check
+    )
+    assert_universal_invariants(results)
+    return results
+
+
+def differential_equal_work_audit(
+    benchmarks: Sequence,
+    accesses: int,
+    policies: Sequence[str] = EQUAL_WORK_POLICIES,
+    seed: int = 0,
+    check: bool = True,
+) -> Dict[str, SimResult]:
+    """Scheduling-order differential: same workload, prefetching disabled.
+
+    All FR-FCFS variants must perform *identical* work — total fills can
+    only change if a policy leaks state into the demand path.
+    """
+
+    def builder(policy: str) -> SystemConfig:
+        config = baseline_config(len(benchmarks), policy=policy)
+        return dataclasses.replace(
+            config,
+            prefetcher=dataclasses.replace(config.prefetcher, kind="none"),
+        )
+
+    results = _run_batch(benchmarks, accesses, policies, seed, builder, check)
+    assert_universal_invariants(results)
+    assert_equal_work(results)
+    return results

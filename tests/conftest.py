@@ -1,5 +1,7 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import pytest
 
 from repro import runtime as repro_runtime
@@ -27,6 +29,10 @@ def _isolated_runtime(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     monkeypatch.delenv("REPRO_CACHE", raising=False)
+    # The whole suite runs under checked mode: every simulation audits its
+    # conservation laws (repro/validate).  An explicit REPRO_CHECK in the
+    # environment (e.g. REPRO_CHECK=0 while bisecting) still wins.
+    monkeypatch.setenv("REPRO_CHECK", os.environ.get("REPRO_CHECK", "1"))
     repro_runtime.reset()
     yield
     repro_runtime.reset()

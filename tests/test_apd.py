@@ -1,5 +1,7 @@
 """Tests for Adaptive Prefetch Dropping."""
 
+import pytest
+
 from repro.controller.accuracy import PrefetchAccuracyTracker
 from repro.controller.apd import AdaptivePrefetchDropper
 from repro.controller.request import MemRequest
@@ -55,11 +57,44 @@ class TestShouldDrop:
         assert dropper.should_drop(request(arrival=0), now=200_001)
 
     def test_age_granularity_coarsens_comparison(self):
-        """Ages compare at the hardware AGE-field granularity (100 cycles)."""
+        """Ages compare at the hardware AGE-field granularity (100 cycles).
+
+        The age quantizes *up* to the next tick, so the drop fires at the
+        first tick strictly past the threshold — not a full granularity
+        window later (the old off-by-one kept threshold-100 prefetches
+        alive until age 200).
+        """
         dropper, _ = make_dropper(accuracy=0.05)  # threshold 100
-        # age 199 is 1 tick, threshold 100 is 1 tick -> not strictly older.
-        assert not dropper.should_drop(request(arrival=0), now=199)
+        assert not dropper.should_drop(request(arrival=0), now=100)
+        assert dropper.should_drop(request(arrival=0), now=101)
         assert dropper.should_drop(request(arrival=0), now=200)
+
+    @pytest.mark.parametrize(
+        "accuracy,threshold",
+        [
+            (0.05, 100),  # accuracy < 0.10
+            (0.20, 1_500),  # 0.10 <= accuracy < 0.30
+            (0.50, 50_000),  # 0.30 <= accuracy < 0.70
+            (0.90, 100_000),  # accuracy >= 0.70
+        ],
+    )
+    def test_drop_boundary_at_every_tier(self, accuracy, threshold):
+        """Table 6, all four tiers: kept *at* the threshold, dropped past it."""
+        dropper, tracker = make_dropper(accuracy=accuracy)
+        assert tracker.drop_threshold[0] == threshold
+        assert not dropper.should_drop(request(arrival=0), now=threshold)
+        assert dropper.should_drop(request(arrival=0), now=threshold + 1)
+
+    def test_boundary_independent_of_arrival_offset(self):
+        """Only the age matters, not where the request falls in a window."""
+        dropper, _ = make_dropper(accuracy=0.05)  # threshold 100
+        for arrival in (0, 1, 37, 99, 100, 101):
+            assert not dropper.should_drop(
+                request(arrival=arrival), now=arrival + 100
+            )
+            assert dropper.should_drop(
+                request(arrival=arrival), now=arrival + 101
+            )
 
     def test_threshold_adapts_across_intervals(self):
         dropper, tracker = make_dropper(accuracy=0.05)

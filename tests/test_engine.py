@@ -187,6 +187,65 @@ class TestDropping:
         assert dropped == []
 
 
+class TestWritebackIndexIsolation:
+    """Writebacks must never shadow reads/prefetches in the line index.
+
+    Regression: ``_admit`` used to index every request, so a writeback to
+    line X evicted the index entry of a queued read/prefetch to X, and
+    servicing the writeback then deleted the *read's* entry — after which
+    ``find_queued`` denied the read existed and demand promotion broke.
+    """
+
+    def enqueue_writeback(self, engine, line, now=0):
+        request = engine.build_request(line, 0, False, now, is_write=True)
+        engine.enqueue_demand(request)
+        return request
+
+    def test_writeback_alone_not_indexed(self):
+        engine = make_engine()
+        self.enqueue_writeback(engine, 0x100)
+        assert engine.occupancy(0) == 1
+        assert engine.find_queued(0x100, 0) is None
+        assert engine.indexed_requests(0) == {}
+
+    def test_writeback_does_not_shadow_queued_read(self):
+        engine = make_engine()
+        read, _ = add_request(engine, 0x100, now=0)
+        self.enqueue_writeback(engine, 0x100, now=1)
+        assert engine.find_queued(0x100, 0) is read
+
+    def test_late_read_still_indexed_behind_writeback(self):
+        engine = make_engine()
+        self.enqueue_writeback(engine, 0x100, now=0)
+        read, _ = add_request(engine, 0x100, now=1)
+        assert engine.find_queued(0x100, 0) is read
+
+    def test_servicing_writeback_keeps_read_indexed(self):
+        engine = make_engine(policy="demand-first")
+        writeback = self.enqueue_writeback(engine, 0x100, now=0)
+        read, _ = add_request(engine, 0x100, now=1)
+        serviced, _ = engine.tick(0, 1)
+        assert serviced == [writeback]  # FCFS: the older writeback goes first
+        assert engine.find_queued(0x100, 0) is read
+        now = engine.channels[0].banks[read.bank].busy_until
+        serviced, _ = engine.tick(0, now)
+        assert serviced == [read]
+        assert engine.indexed_requests(0) == {}
+        assert engine.occupancy(0) == 0
+
+    def test_servicing_writeback_keeps_prefetch_promotable(self):
+        engine = make_engine(policy="demand-first")
+        writeback = self.enqueue_writeback(engine, 0x100, now=0)
+        prefetch, accepted = add_request(engine, 0x100, is_prefetch=True, now=1)
+        assert accepted
+        serviced, _ = engine.tick(0, 1)
+        assert serviced == [writeback]  # demand-first: writeback beats prefetch
+        queued = engine.find_queued(0x100, 0)
+        assert queued is prefetch
+        queued.promote()  # the promotion path the stale index used to break
+        assert prefetch.promoted
+
+
 class TestPromotionInQueue:
     def test_promoted_request_schedules_as_demand(self):
         engine = make_engine(policy="demand-first")

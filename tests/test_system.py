@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.params import baseline_config
+from repro.params import (
+    CacheConfig,
+    CoreConfig,
+    DRAMConfig,
+    PADCConfig,
+    PrefetcherConfig,
+    SystemConfig,
+    baseline_config,
+)
 from repro.sim import System, simulate
 from repro.workloads.profiles import BenchmarkProfile
 
@@ -226,6 +234,63 @@ class TestFilters:
             max_accesses_per_core=4000,
         )
         assert throttled.cores[0].pf_sent < plain.cores[0].pf_sent
+
+
+class TestMSHRFullRetryAccounting:
+    """The stall → retry path must count each architectural event once.
+
+    Regression: the FDP miss counter and pollution-filter probe sat
+    outside the ``retry`` guard, so an access that stalled on a full MSHR
+    file and came back was counted as *two* demand misses (and probed the
+    consuming pollution filter twice), skewing the FDP throttle.
+    """
+
+    def make_system(self):
+        config = SystemConfig(
+            num_cores=1,
+            core=CoreConfig(rob_size=64, retire_width=4),
+            # Two MSHRs: the third concurrent demand miss must stall.
+            cache=CacheConfig(
+                size_bytes=32 * 1024, associativity=4, mshr_entries=2
+            ),
+            dram=DRAMConfig(request_buffer_size=16),
+            prefetcher=PrefetcherConfig(filter_kind="fdp"),
+            # The interval never elapses, so FDP's counters never reset and
+            # can be compared against the whole-run architectural counts.
+            padc=PADCConfig(accuracy_interval=10**9),
+            policy="demand-first",
+        )
+        return System(config, [STREAMY], check=True)
+
+    def test_stall_retry_counts_once(self):
+        system = self.make_system()
+        trains = []
+        prefetcher = system._prefetchers[0]
+        original = prefetcher.on_access
+
+        def spy(line, was_hit, **kwargs):
+            trains.append(line)
+            return original(line, was_hit, **kwargs)
+
+        prefetcher.on_access = spy
+        result = system.run(2_000)
+        core = system.cores[0]
+        assert core.mshr_stalls > 0  # the path under test was exercised
+        assert core.loads == core.accesses_done == 2_000
+        assert core.l2_hits + core.l2_misses == core.loads
+        # One architectural miss == one FDP feedback miss, stalls included.
+        assert system._fdp[0].demand_misses == core.l2_misses
+        # The prefetcher trains exactly once per access: the stalled attempt
+        # returns before training, the successful retry trains.
+        assert len(trains) == core.loads
+        assert result.cores[0].mshr_stalls == core.mshr_stalls
+
+    def test_stall_time_accounted_within_cycles(self):
+        system = self.make_system()
+        result = system.run(1_500)
+        core = result.cores[0]
+        assert core.mshr_stalls > 0
+        assert 0 < core.stall_cycles <= core.cycles
 
 
 class TestAccuracyHistory:
