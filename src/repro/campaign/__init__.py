@@ -1,0 +1,68 @@
+"""Sweep-orchestration subsystem: validated specs, a persistent run
+ledger, and resumable fault-tolerant execution.
+
+Layered on :mod:`repro.runtime`, in four parts:
+
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec`, the typed and
+  upfront-validated contract declaring a grid of workloads × policies ×
+  config overrides × seeds, expanded deterministically into content-hash
+  keyed jobs;
+* :mod:`repro.campaign.ledger` — the append-only JSONL status journal
+  (``pending``/``running``/``done``/``failed`` with timings and errors)
+  living next to the spec snapshot in each campaign directory;
+* :mod:`repro.campaign.executor` — :class:`CampaignRunner` and
+  :func:`submit`: fault-isolated execution with bounded retries where a
+  crashing job records its traceback and its siblings finish, plus
+  resume that re-runs only unfinished work;
+* :mod:`repro.campaign.report` — status summaries and deterministic
+  CSV/JSON export of the ledger joined with the result store.
+
+``python -m repro.campaign`` (also ``python -m repro campaign``) drives
+it: ``run``, ``status``, ``resume``, ``export``.  The figure scripts'
+multiprogrammed sweeps submit through :func:`submit`, making them thin
+views over the campaign ledger.
+
+(Presets live in :mod:`repro.campaign.presets`; it is imported lazily
+because it pulls in :mod:`repro.experiments`, which itself imports this
+package.)
+"""
+
+from repro.campaign.ledger import JobState, Ledger, status_counts
+from repro.campaign.spec import (
+    CampaignJob,
+    CampaignSpec,
+    PolicyVariant,
+    SpecError,
+    Workload,
+    expand,
+    unique_jobs,
+)
+from repro.campaign.executor import (
+    Campaign,
+    CampaignError,
+    CampaignRun,
+    CampaignRunner,
+    campaigns_root,
+    default_directory,
+    submit,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignError",
+    "CampaignJob",
+    "CampaignRun",
+    "CampaignRunner",
+    "CampaignSpec",
+    "JobState",
+    "Ledger",
+    "PolicyVariant",
+    "SpecError",
+    "Workload",
+    "campaigns_root",
+    "default_directory",
+    "expand",
+    "status_counts",
+    "submit",
+    "unique_jobs",
+]

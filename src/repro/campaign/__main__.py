@@ -1,0 +1,214 @@
+"""CLI for sweep campaigns.
+
+Usage::
+
+    python -m repro.campaign run --name smoke                 # preset
+    python -m repro.campaign run --spec my_sweep.json -j 8    # custom grid
+    python -m repro.campaign status <campaign-dir>
+    python -m repro.campaign resume <campaign-dir> -j 8
+    python -m repro.campaign export <campaign-dir> --format csv -o out.csv
+
+``run`` prints the campaign directory it used; ``status``/``resume``/
+``export`` take that directory.  A ``run`` over a directory that already
+has ledger entries refuses to proceed unless you pass ``--resume``
+(continue unfinished work) or ``--fresh`` (discard the ledger and drive
+every job again — results still cached in the store stay warm).
+
+Exit codes: 0 on success, 1 if any job is failed/unfinished, 2 on usage
+or spec errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.campaign.executor import (
+    Campaign,
+    CampaignError,
+    CampaignRunner,
+    default_directory,
+)
+from repro.campaign.ledger import LEDGER_NAME
+from repro.campaign.report import export, status_summary
+from repro.campaign.spec import CampaignSpec, SpecError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Declarative sweep campaigns with a persistent run ledger.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="expand a spec and run its jobs")
+    source = run.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--name", help="predefined campaign (see repro.campaign.presets)"
+    )
+    source.add_argument("--spec", help="path to a campaign spec JSON file")
+    run.add_argument("--dir", help="campaign directory (default: derived from the spec)")
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an existing campaign: re-run only unfinished jobs",
+    )
+    run.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard the existing ledger and drive every job again",
+    )
+    run.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="run at most N jobs then stop (smoke/testing hook; the rest stay pending)",
+    )
+    _add_execution_flags(run)
+
+    status = sub.add_parser("status", help="progress/failure report from the ledger")
+    status.add_argument("directory", help="campaign directory")
+
+    resume = sub.add_parser("resume", help="re-run only pending/failed jobs")
+    resume.add_argument("directory", help="campaign directory")
+    resume.add_argument("--limit", type=int, default=None, help=argparse.SUPPRESS)
+    _add_execution_flags(resume)
+
+    exp = sub.add_parser("export", help="export ledger + metrics rows")
+    exp.add_argument("directory", help="campaign directory")
+    exp.add_argument("--format", choices=("csv", "json"), default="csv")
+    exp.add_argument("--output", "-o", help="output file (default: stdout)")
+    exp.add_argument(
+        "--cache-dir", default=None, help="result store the campaign ran against"
+    )
+    return parser
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes (0 = one per CPU core; default $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result store location (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts per failing job before its failure is final",
+    )
+
+
+def _runtime(args):
+    from repro import runtime
+
+    if getattr(args, "jobs", None) is not None or getattr(args, "cache_dir", None):
+        return runtime.configure(jobs=args.jobs, cache_dir=args.cache_dir)
+    return runtime.get_runtime()
+
+
+def _load_spec(args) -> CampaignSpec:
+    if args.name:
+        from repro.campaign import presets
+
+        return presets.build(args.name)
+    path = Path(args.spec)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SpecError(f"cannot read spec file {path}: {exc}") from exc
+    # Accept both a bare spec and a campaign.json-style snapshot.
+    return CampaignSpec.from_dict(payload.get("spec", payload))
+
+
+def _finish_run(campaign: Campaign, run) -> int:
+    print(status_summary(campaign))
+    print(f"campaign directory: {campaign.directory}")
+    return 1 if run.incomplete() else 0
+
+
+def _cmd_run(args) -> int:
+    runtime = _runtime(args)
+    spec = _load_spec(args)
+    directory = Path(args.dir) if args.dir else default_directory(spec, runtime.store.root)
+    campaign = Campaign.create(spec, directory)
+    if campaign.ledger.exists() and campaign.ledger.records():
+        if args.fresh:
+            campaign.ledger.path.unlink()
+        elif not args.resume:
+            print(
+                f"error: {directory} already has a run ledger ({LEDGER_NAME}); "
+                "pass --resume to continue it or --fresh to start over",
+                file=sys.stderr,
+            )
+            return 2
+    run = CampaignRunner(campaign, runtime=runtime, retries=args.retries).run(
+        resume=True, limit=args.limit
+    )
+    return _finish_run(campaign, run)
+
+
+def _cmd_status(args) -> int:
+    campaign = Campaign.open(args.directory)
+    print(status_summary(campaign))
+    counts = campaign.status_counts()
+    return 1 if counts.get("failed", 0) else 0
+
+
+def _cmd_resume(args) -> int:
+    runtime = _runtime(args)
+    campaign = Campaign.open(args.directory)
+    run = CampaignRunner(campaign, runtime=runtime, retries=args.retries).run(
+        resume=True, limit=args.limit
+    )
+    return _finish_run(campaign, run)
+
+
+def _cmd_export(args) -> int:
+    from repro import runtime
+
+    campaign = Campaign.open(args.directory)
+    store = (
+        runtime.Runtime(cache_dir=args.cache_dir).store
+        if args.cache_dir
+        else runtime.get_runtime().store
+    )
+    text = export(campaign, store, fmt=args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "status": _cmd_status,
+    "resume": _cmd_resume,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (SpecError, CampaignError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

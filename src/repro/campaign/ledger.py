@@ -1,0 +1,115 @@
+"""The persistent, append-only run ledger of a campaign.
+
+One JSONL file (``ledger.jsonl`` inside the campaign directory) records
+every state transition of every job: ``running`` when an attempt starts,
+then ``done`` (with elapsed time, worker pid and whether it was a cache
+hit) or ``failed`` (with the error text and the job's config
+fingerprint).  Records are only ever appended — never rewritten — so the
+file doubles as a complete execution history; the *current* state of a
+job is the fold of its records, last status wins (:meth:`Ledger.fold`).
+
+Jobs are keyed by their :class:`~repro.runtime.SimJob` content hash, the
+same key the result store uses, which is what lets ``resume`` trust a
+``done`` record: the result it promises is addressable in the store.
+
+Crash behaviour: a process killed mid-job leaves that job's last record
+at ``running``.  The fold reports such jobs as ``interrupted`` and the
+executor treats them exactly like ``pending`` — they re-run on resume.
+Truncated/corrupt trailing lines (a crash mid-append) are skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+LEDGER_NAME = "ledger.jsonl"
+
+# Every state a job can be in.  "pending" and "interrupted" are derived
+# (no record / last record is "running"); only the others are written.
+STATUSES = ("pending", "running", "interrupted", "done", "failed")
+
+
+@dataclass
+class JobState:
+    """Folded view of one job's ledger records."""
+
+    key: str
+    status: str = "pending"
+    attempts: int = 0
+    error: Optional[str] = None
+    elapsed: Optional[float] = None
+    worker: Optional[int] = None
+    cached: bool = False
+    meta: Dict = field(default_factory=dict)
+
+
+class Ledger:
+    """Append-only JSONL status journal, single-writer per campaign run."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def append(self, record: Dict) -> None:
+        record = dict(record)
+        record.setdefault("ts", time.time())
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+
+    def records(self) -> List[Dict]:
+        """All parseable records, in append order."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return []
+        records = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from a crash mid-append
+            if isinstance(record, dict) and "key" in record and "status" in record:
+                records.append(record)
+        return records
+
+    def fold(self) -> Dict[str, JobState]:
+        """Current state per job key: replay records, last status wins."""
+        states: Dict[str, JobState] = {}
+        for record in self.records():
+            key = record["key"]
+            state = states.setdefault(key, JobState(key))
+            status = record["status"]
+            if status == "running":
+                state.status = "interrupted"  # until a done/failed follows
+                state.attempts += 1
+                state.worker = record.get("worker")
+                state.error = None
+            elif status in ("done", "failed"):
+                state.status = status
+                state.error = record.get("error")
+                state.elapsed = record.get("elapsed")
+                state.worker = record.get("worker", state.worker)
+                state.cached = bool(record.get("cached", False))
+            if record.get("job"):
+                state.meta = record["job"]
+        return states
+
+
+def status_counts(states: Iterable[JobState]) -> Dict[str, int]:
+    """Histogram of job statuses in canonical order."""
+    counts = {status: 0 for status in STATUSES}
+    for state in states:
+        counts[state.status] = counts.get(state.status, 0) + 1
+    return counts

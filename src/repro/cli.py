@@ -6,6 +6,7 @@ Subcommands::
     python -m repro benchmarks                 # list the 55 workload profiles
     python -m repro cost --cores 4             # Tables 1-2 storage cost
     python -m repro experiment fig16 fig01     # regenerate paper artifacts
+    python -m repro campaign run --name paper  # ledgered sweep (run/status/resume/export)
     python -m repro trace swim out.trace.gz --accesses 10000
 """
 
@@ -68,6 +69,13 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("output")
     trace.add_argument("--accesses", type=int, default=10_000)
     trace.add_argument("--seed", type=int, default=0)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="sweep campaigns: run/status/resume/export (see python -m repro.campaign)",
+        add_help=False,
+    )
+    campaign.add_argument("rest", nargs=argparse.REMAINDER)
     return parser
 
 
@@ -215,6 +223,12 @@ def _cmd_experiment(args) -> int:
     return experiments_main(argv)
 
 
+def _cmd_campaign(args) -> int:
+    from repro.campaign.__main__ import main as campaign_main
+
+    return campaign_main(args.rest)
+
+
 def _cmd_trace(args) -> int:
     entries = make_trace(args.benchmark, seed=args.seed)
     count = save_trace(entries, args.output, limit=args.accesses)
@@ -227,6 +241,7 @@ _COMMANDS = {
     "benchmarks": _cmd_benchmarks,
     "cost": _cmd_cost,
     "experiment": _cmd_experiment,
+    "campaign": _cmd_campaign,
     "trace": _cmd_trace,
 }
 

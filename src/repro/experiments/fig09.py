@@ -2,19 +2,30 @@
 
 Average WS/HS and bus traffic over random 2-benchmark mixes (the paper
 averages 54 mixes; the quick scale uses fewer).
+
+:func:`multicore_overview` — shared by every multiprogrammed overview
+figure (9, 16, 17, 19-22, 24, 26, 27) — declares its whole grid as a
+:class:`~repro.campaign.CampaignSpec` and submits it through the
+campaign layer: every run is recorded in a persistent ledger, a crashed
+job no longer kills the sweep (resume re-runs only it), and the figure
+itself is just a view over the campaign's results.  Job content hashes
+are unchanged, so results are numerically identical to the old direct
+``run_policies``/``alone_ipcs`` path and share its cache entries.
 """
 
 from __future__ import annotations
 
+from typing import Mapping, Optional, Sequence
+
+from repro.campaign import CampaignSpec, PolicyVariant, Workload, submit
 from repro.experiments.runner import (
     DEFAULT_POLICIES,
     ExperimentResult,
     Scale,
     average,
     register,
-    run_policies,
-    speedup_metrics,
 )
+from repro.metrics import harmonic_speedup, unfairness, weighted_speedup
 from repro.workloads import workload_mixes
 
 
@@ -24,37 +35,55 @@ def multicore_overview(
     num_cores: int,
     num_mixes: int,
     scale: Scale,
-    config_builder=None,
-    policies=DEFAULT_POLICIES,
+    policies: Sequence = DEFAULT_POLICIES,
     seed: int = 100,
+    overrides: Optional[Mapping[str, object]] = None,
 ) -> ExperimentResult:
-    """Shared machinery for the 2/4/8-core overview figures."""
+    """Shared machinery for the 2/4/8-core overview figures.
+
+    ``policies`` entries are policy names or :class:`PolicyVariant`
+    values (for relabelled/overridden points like "padc-rank");
+    ``overrides`` are ``baseline_config`` keyword arguments applied to
+    every grid cell (e.g. ``{"num_channels": 2}`` for the
+    dual-controller figures).  Alone runs always use the paper's plain
+    single-core demand-first baseline (§5.2), matching ``alone_ipcs``.
+    """
     mixes = workload_mixes(num_cores, num_mixes, seed=seed)
-    metrics = {policy: {"ws": [], "hs": [], "uf": [], "traffic": []} for policy in policies}
-    for index, mix in enumerate(mixes):
-        names = [profile.name for profile in mix]
-        runs = run_policies(
-            names,
-            scale.accesses,
-            policies=policies,
-            seed=index,
-            config_builder=config_builder,
-        )
-        for policy in policies:
-            speedups = speedup_metrics(runs[policy], names, scale.accesses, seed=index)
-            metrics[policy]["ws"].append(speedups["ws"])
-            metrics[policy]["hs"].append(speedups["hs"])
-            metrics[policy]["uf"].append(speedups["uf"])
-            metrics[policy]["traffic"].append(runs[policy].total_traffic)
+    variants = [
+        entry if isinstance(entry, PolicyVariant) else PolicyVariant.make(entry)
+        for entry in policies
+    ]
+    spec = CampaignSpec.build(
+        name=experiment_id,
+        workloads=[
+            Workload.make([profile.name for profile in mix], seed=index)
+            for index, mix in enumerate(mixes)
+        ],
+        policies=variants,
+        accesses=scale.accesses,
+        variants={"base": dict(overrides or {})},
+    )
+    run = submit(spec)
+    labels = [variant.label for variant in variants]
+    metrics = {label: {"ws": [], "hs": [], "uf": [], "traffic": []} for label in labels}
+    for index in range(len(mixes)):
+        alone = run.alone_ipcs(index)
+        for label in labels:
+            result = run.grid(index, label)
+            together = result.ipcs()
+            metrics[label]["ws"].append(weighted_speedup(together, alone))
+            metrics[label]["hs"].append(harmonic_speedup(together, alone))
+            metrics[label]["uf"].append(unfairness(together, alone))
+            metrics[label]["traffic"].append(result.total_traffic)
     result = ExperimentResult(experiment_id, title)
-    for policy in policies:
+    for label in labels:
         result.rows.append(
             {
-                "policy": policy,
-                "ws": average(metrics[policy]["ws"]),
-                "hs": average(metrics[policy]["hs"]),
-                "uf": average(metrics[policy]["uf"]),
-                "traffic": average(metrics[policy]["traffic"]),
+                "policy": label,
+                "ws": average(metrics[label]["ws"]),
+                "hs": average(metrics[label]["hs"]),
+                "uf": average(metrics[label]["uf"]),
+                "traffic": average(metrics[label]["traffic"]),
             }
         )
     result.notes = f"averaged over {len(mixes)} random {num_cores}-core mixes"

@@ -7,19 +7,15 @@ both fairness and performance on the more contended 8-core system.
 
 from __future__ import annotations
 
-from functools import partial
-
+from repro.campaign import PolicyVariant
 from repro.experiments.fig09 import multicore_overview
 from repro.experiments.runner import ExperimentResult, Scale, register
-from repro.params import baseline_config
 
-RANK_POLICIES = ("demand-first", "padc", "padc-rank")
-
-
-def _config(num_cores: int, policy: str):
-    if policy == "padc-rank":
-        return baseline_config(num_cores, policy="padc", use_ranking=True)
-    return baseline_config(num_cores, policy=policy)
+RANK_POLICIES = (
+    PolicyVariant.make("demand-first"),
+    PolicyVariant.make("padc"),
+    PolicyVariant.make("padc-rank", policy="padc", use_ranking=True),
+)
 
 
 @register("fig19")
@@ -30,7 +26,6 @@ def fig19(scale: Scale) -> ExperimentResult:
         num_cores=4,
         num_mixes=scale.mixes_4core,
         scale=scale,
-        config_builder=partial(_config, 4),
         policies=RANK_POLICIES,
     )
 
@@ -43,6 +38,5 @@ def fig20(scale: Scale) -> ExperimentResult:
         num_cores=8,
         num_mixes=scale.mixes_8core,
         scale=scale,
-        config_builder=partial(_config, 8),
         policies=RANK_POLICIES,
     )

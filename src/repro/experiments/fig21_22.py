@@ -7,15 +7,10 @@ saves ~13% bandwidth.
 
 from __future__ import annotations
 
-from functools import partial
-
 from repro.experiments.fig09 import multicore_overview
 from repro.experiments.runner import ExperimentResult, Scale, register
-from repro.params import baseline_config
 
-
-def _dual_channel_config(num_cores: int, policy: str):
-    return baseline_config(num_cores, policy=policy, num_channels=2)
+DUAL_CHANNEL = {"num_channels": 2}
 
 
 @register("fig21")
@@ -26,7 +21,7 @@ def fig21(scale: Scale) -> ExperimentResult:
         num_cores=4,
         num_mixes=scale.mixes_4core,
         scale=scale,
-        config_builder=partial(_dual_channel_config, 4),
+        overrides=DUAL_CHANNEL,
     )
 
 
@@ -38,5 +33,5 @@ def fig22(scale: Scale) -> ExperimentResult:
         num_cores=8,
         num_mixes=scale.mixes_8core,
         scale=scale,
-        config_builder=partial(_dual_channel_config, 8),
+        overrides=DUAL_CHANNEL,
     )

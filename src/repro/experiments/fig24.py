@@ -7,11 +7,8 @@ closed-row, though open-row PADC remains slightly better overall.
 
 from __future__ import annotations
 
-from functools import partial
-
 from repro.experiments.fig09 import multicore_overview
 from repro.experiments.runner import ExperimentResult, Scale, register
-from repro.params import baseline_config
 
 VARIANTS = (
     ("demand-first", True),
@@ -21,10 +18,6 @@ VARIANTS = (
     ("padc", False),
     ("padc", True),
 )
-
-
-def _config(open_row: bool, policy: str):
-    return baseline_config(4, policy=policy, open_row=open_row)
 
 
 @register("fig24")
@@ -37,8 +30,8 @@ def fig24(scale: Scale) -> ExperimentResult:
             num_cores=4,
             num_mixes=max(2, scale.mixes_4core // 2),
             scale=scale,
-            config_builder=partial(_config, open_row),
             policies=(policy,),
+            overrides={"open_row": open_row},
         )
         row = dict(overview.rows[0])
         row["policy"] = f"{policy}{'-open' if open_row else '-closed'}"

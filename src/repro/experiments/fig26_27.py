@@ -7,15 +7,10 @@ so demand-prefetch-equal degrades sharply while PADC keeps winning
 
 from __future__ import annotations
 
-from functools import partial
-
 from repro.experiments.fig09 import multicore_overview
 from repro.experiments.runner import ExperimentResult, Scale, register
-from repro.params import baseline_config
 
-
-def _shared_config(num_cores: int, policy: str):
-    return baseline_config(num_cores, policy=policy, shared_cache=True)
+SHARED_L2 = {"shared_cache": True}
 
 
 @register("fig26")
@@ -26,7 +21,7 @@ def fig26(scale: Scale) -> ExperimentResult:
         num_cores=4,
         num_mixes=scale.mixes_4core,
         scale=scale,
-        config_builder=partial(_shared_config, 4),
+        overrides=SHARED_L2,
     )
 
 
@@ -38,5 +33,5 @@ def fig27(scale: Scale) -> ExperimentResult:
         num_cores=8,
         num_mixes=scale.mixes_8core,
         scale=scale,
-        config_builder=partial(_shared_config, 8),
+        overrides=SHARED_L2,
     )

@@ -46,9 +46,20 @@ class Scale:
 
     @staticmethod
     def from_env() -> "Scale":
-        """Pick the scale from $REPRO_SCALE (tiny|quick|medium|paper)."""
+        """Pick the scale from $REPRO_SCALE (tiny|quick|medium|paper).
+
+        An unknown value is an error, not a silent fall-back to quick —
+        an overnight "paper " run with a typo must die at startup, not
+        after producing a full sweep at the wrong size.
+        """
         name = os.environ.get("REPRO_SCALE", "quick")
-        return SCALES.get(name, SCALES["quick"])
+        try:
+            return SCALES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown $REPRO_SCALE value {name!r}; "
+                f"known scales: {', '.join(SCALES)}"
+            ) from None
 
 
 SCALES: Dict[str, Scale] = {
@@ -90,7 +101,13 @@ class ExperimentResult:
         """Render the rows as a fixed-width ASCII table."""
         if not self.rows:
             return f"[{self.experiment_id}] {self.title}\n(no rows)"
-        columns = list(self.rows[0].keys())
+        # Ordered union of all row keys: a key present only in later rows
+        # (e.g. a metric some policy cannot produce) still gets a column.
+        columns: List[str] = []
+        for row in self.rows:
+            for column in row:
+                if column not in columns:
+                    columns.append(column)
         widths = {
             col: max(
                 len(str(col)),

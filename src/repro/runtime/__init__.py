@@ -13,17 +13,20 @@ the CLIs, the benchmark harness) submits through this layer, so the
 
 from repro.runtime.hashing import canonicalize, config_fingerprint, content_hash
 from repro.runtime.parallel import (
+    JobExecutionError,
     Runtime,
     SimJob,
     configure,
     execute_job,
     get_runtime,
+    job_summary,
     reset,
 )
 from repro.runtime.store import CACHE_VERSION, ResultStore, cache_key, default_cache_dir
 
 __all__ = [
     "CACHE_VERSION",
+    "JobExecutionError",
     "ResultStore",
     "Runtime",
     "SimJob",
@@ -35,5 +38,6 @@ __all__ = [
     "default_cache_dir",
     "execute_job",
     "get_runtime",
+    "job_summary",
     "reset",
 ]

@@ -24,6 +24,7 @@ Knobs (flag overrides env, env overrides default):
 from __future__ import annotations
 
 import os
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -70,18 +71,63 @@ class SimJob:
         return cache_key(self)
 
 
+class JobExecutionError(RuntimeError):
+    """A simulation job died; carries the job's identity, not just a trace.
+
+    A bare worker traceback says *that* something crashed but not *what*
+    was running; this error pins the failure to a job via its cache key
+    and a config summary (policy, cores, benchmarks, accesses, seed).
+    The three-argument form keeps the default ``Exception`` pickling
+    working, so the error crosses the ProcessPoolExecutor boundary
+    intact.
+    """
+
+    def __init__(self, key: str, summary: str, traceback_text: str):
+        super().__init__(key, summary, traceback_text)
+        self.key = key
+        self.summary = summary
+        self.traceback_text = traceback_text
+
+    def __str__(self) -> str:
+        return (
+            f"simulation job {self.key[:16]} failed ({self.summary})\n"
+            f"{self.traceback_text.rstrip()}"
+        )
+
+
+def job_summary(job: SimJob) -> str:
+    """One-line human identity of a job for error reports and ledgers."""
+    names = ",".join(
+        getattr(benchmark, "name", str(benchmark)) for benchmark in job.benchmarks
+    )
+    return (
+        f"policy={job.config.policy} cores={job.config.num_cores} "
+        f"benchmarks={names} accesses={job.accesses} seed={job.seed}"
+    )
+
+
 def execute_job(job: SimJob) -> SimResult:
-    """Run one job in this process (also the worker-side entry point)."""
+    """Run one job in this process (also the worker-side entry point).
+
+    Any simulation failure is re-raised as :class:`JobExecutionError`
+    carrying the job's cache key and config summary, so callers (and
+    users reading a worker traceback) know which job died.
+    """
     # Late attribute lookup so tests can monkeypatch repro.sim.simulate.
     import repro.sim
 
-    return repro.sim.simulate(
-        job.config,
-        list(job.benchmarks),
-        max_accesses_per_core=job.accesses,
-        seed=job.seed,
-        **dict(job.sim_kwargs),
-    )
+    try:
+        return repro.sim.simulate(
+            job.config,
+            list(job.benchmarks),
+            max_accesses_per_core=job.accesses,
+            seed=job.seed,
+            **dict(job.sim_kwargs),
+        )
+    except Exception as error:
+        raise JobExecutionError(
+            job.key(), job_summary(job), traceback.format_exc()
+        ) from error
 
 
 def _resolve_jobs(jobs: Optional[int]) -> int:
@@ -154,11 +200,21 @@ class Runtime:
         return results
 
     def _execute(self, jobs: List[SimJob]) -> List[SimResult]:
-        if self.jobs > 1 and len(jobs) > 1:
-            workers = min(self.jobs, len(jobs))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(execute_job, jobs))
-        return [execute_job(job) for job in jobs]
+        try:
+            if self.jobs > 1 and len(jobs) > 1:
+                workers = min(self.jobs, len(jobs))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    return list(pool.map(execute_job, jobs))
+            return [execute_job(job) for job in jobs]
+        except JobExecutionError as error:
+            # Report which member of the batch died; the whole batch is
+            # abandoned here (the campaign executor is the fault-isolated
+            # path that lets siblings finish).
+            error.add_note(
+                f"while running a batch of {len(jobs)} jobs; "
+                "the rest of the batch was abandoned"
+            )
+            raise
 
 
 # -- the process-wide runtime -------------------------------------------------

@@ -2,10 +2,11 @@
 
 import pytest
 
+from repro.campaign import CampaignSpec, expand
 from repro.experiments.fig04 import HISTOGRAM_EDGES, _bucket
-from repro.experiments.fig19_20 import _config as rank_config
-from repro.experiments.fig21_22 import _dual_channel_config
-from repro.experiments.fig26_27 import _shared_config
+from repro.experiments.fig19_20 import RANK_POLICIES
+from repro.experiments.fig21_22 import DUAL_CHANNEL
+from repro.experiments.fig26_27 import SHARED_L2
 from repro.experiments.fig29_30 import FIG29_VARIANTS, _filter_config
 from repro.experiments.single_core import FIG6_BENCHMARKS, _bench_list
 from repro.experiments.runner import Scale
@@ -23,19 +24,34 @@ class TestHistogramBuckets:
         assert list(HISTOGRAM_EDGES) == sorted(HISTOGRAM_EDGES)
 
 
-class TestConfigBuilders:
-    def test_rank_config(self):
-        config = rank_config(4, "padc-rank")
-        assert config.policy == "padc"
-        assert config.padc.use_ranking
-        plain = rank_config(4, "padc")
-        assert not plain.padc.use_ranking
+class TestDeclarativeConfigVariants:
+    """The figures' PolicyVariant/override declarations expand to the
+    same SystemConfigs the old per-figure config_builder closures built."""
 
-    def test_dual_channel_config(self):
-        assert _dual_channel_config(8, "padc").dram.num_channels == 2
+    def _grid_configs(self, policies, overrides, cores=4):
+        spec = CampaignSpec.build(
+            "helper-test",
+            [["swim"] * cores],
+            policies,
+            500,
+            variants={"base": dict(overrides)},
+            include_alone=False,
+        )
+        return {job.policy: job.job.config for job in expand(spec)}
 
-    def test_shared_config(self):
-        config = _shared_config(4, "aps")
+    def test_rank_variant(self):
+        configs = self._grid_configs(RANK_POLICIES, {})
+        assert configs["padc-rank"].policy == "padc"
+        assert configs["padc-rank"].padc.use_ranking
+        assert not configs["padc"].padc.use_ranking
+
+    def test_dual_channel_override(self):
+        configs = self._grid_configs(("padc",), DUAL_CHANNEL, cores=8)
+        assert configs["padc"].dram.num_channels == 2
+
+    def test_shared_cache_override(self):
+        configs = self._grid_configs(("aps",), SHARED_L2)
+        config = configs["aps"]
         assert config.cache.shared
         assert config.cache.size_bytes == 4 * 512 * 1024
 

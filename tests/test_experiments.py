@@ -85,15 +85,43 @@ class TestExperimentResult:
     def test_empty_table(self):
         assert "(no rows)" in ExperimentResult("x", "demo").to_table()
 
+    def test_columns_are_union_of_all_rows(self):
+        """Keys appearing only in later rows must still become columns."""
+        result = ExperimentResult(
+            "x",
+            "demo",
+            rows=[{"a": 1}, {"a": 2, "late": 7.5}, {"other": "x"}],
+        )
+        table = result.to_table()
+        assert "late" in table
+        assert "other" in table
+        assert "7.500" in table
+
     def test_column_extraction(self):
         result = ExperimentResult("x", "demo", rows=[{"a": 1}, {"a": 2}])
         assert result.column("a") == [1, 2]
 
 
 class TestScale:
-    def test_env_fallback(self, monkeypatch):
+    def test_unknown_scale_fails_loudly(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "nonsense")
+        with pytest.raises(ValueError) as excinfo:
+            Scale.from_env()
+        message = str(excinfo.value)
+        assert "nonsense" in message
+        for known in ("tiny", "quick", "medium", "paper"):
+            assert known in message
+
+    def test_unset_defaults_to_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
         assert Scale.from_env() == Scale()
+
+    @pytest.mark.parametrize("name", ["tiny", "quick", "medium", "paper"])
+    def test_every_known_scale_resolves(self, name, monkeypatch):
+        from repro.experiments.runner import SCALES
+
+        monkeypatch.setenv("REPRO_SCALE", name)
+        assert Scale.from_env() == SCALES[name]
 
     def test_named_scales(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "paper")

@@ -18,7 +18,7 @@ from repro.experiments.runner import (
     speedup_metrics,
 )
 from repro.params import baseline_config
-from repro.runtime import Runtime, SimJob
+from repro.runtime import JobExecutionError, Runtime, SimJob, execute_job, job_summary
 
 MIX = ["swim", "milc"]
 POLICIES = ("demand-first", "padc")
@@ -112,6 +112,82 @@ class TestWarmCacheSkipsSimulation:
         first, second = executor.run_many([job, job])
         assert len(calls) == 1
         assert first.to_dict() == second.to_dict()
+
+
+class TestWorkerFailureReporting:
+    """A dying job must say *which* job died, not just that one did."""
+
+    def _failing_job(self):
+        # An unknown benchmark name slips past SimJob (which stores names
+        # verbatim) and explodes inside simulate() — the same shape as a
+        # genuine worker-side crash.
+        return SimJob.make(baseline_config(1), ["no-such-bench"], 300, seed=2)
+
+    def test_execute_job_wraps_failures_with_identity(self):
+        job = self._failing_job()
+        with pytest.raises(JobExecutionError) as excinfo:
+            execute_job(job)
+        error = excinfo.value
+        assert error.key == job.key()
+        assert "no-such-bench" in error.summary
+        assert "policy=demand-first" in error.summary
+        assert "KeyError" in error.traceback_text
+        assert error.key[:16] in str(error)
+
+    def test_injected_fault_carries_identity(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected fault")
+
+        monkeypatch.setattr(sim, "simulate", boom)
+        job = SimJob.make(baseline_config(2, policy="padc"), MIX, 300, seed=1)
+        with pytest.raises(JobExecutionError) as excinfo:
+            execute_job(job)
+        error = excinfo.value
+        assert "injected fault" in error.traceback_text
+        assert "swim,milc" in error.summary
+        assert "seed=1" in error.summary
+
+    def test_run_many_reports_which_batch_member_died(self, tmp_path):
+        executor = Runtime(jobs=1, cache_dir=str(tmp_path / "cache"))
+        good = SimJob.make(baseline_config(1), ["swim"], 300, seed=0)
+        bad = self._failing_job()
+        with pytest.raises(JobExecutionError) as excinfo:
+            executor.run_many([good, bad])
+        error = excinfo.value
+        assert error.key == bad.key()
+        assert any("batch of 2 jobs" in note for note in error.__notes__)
+
+    def test_failure_crosses_process_pool_intact(self, tmp_path):
+        executor = Runtime(jobs=2, cache_dir=str(tmp_path / "cache"))
+        jobs = [
+            SimJob.make(baseline_config(1), ["swim"], 300, seed=0),
+            self._failing_job(),
+        ]
+        with pytest.raises(JobExecutionError) as excinfo:
+            executor.run_many(jobs)
+        # The error was pickled back from a worker with its fields intact.
+        error = excinfo.value
+        assert error.key == jobs[1].key()
+        assert "no-such-bench" in error.summary
+        assert "KeyError" in error.traceback_text
+
+    def test_error_survives_pickling(self):
+        import pickle
+
+        original = JobExecutionError("k" * 64, "policy=padc cores=1", "Traceback ...")
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.key == original.key
+        assert clone.summary == original.summary
+        assert clone.traceback_text == original.traceback_text
+        assert str(clone) == str(original)
+
+    def test_job_summary_is_one_line(self):
+        job = SimJob.make(baseline_config(2, policy="padc"), MIX, 500, seed=7)
+        summary = job_summary(job)
+        assert "\n" not in summary
+        assert summary == (
+            "policy=padc cores=2 benchmarks=swim,milc accesses=500 seed=7"
+        )
 
 
 class TestRuntimeKnobs:
