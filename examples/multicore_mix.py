@@ -13,9 +13,9 @@ Usage: python examples/multicore_mix.py [bench1 bench2 bench3 bench4]
 import sys
 
 from repro import (
+    api,
     baseline_config,
     harmonic_speedup,
-    simulate,
     unfairness,
     weighted_speedup,
 )
@@ -32,10 +32,10 @@ def main() -> None:
     print("measuring alone-IPCs (demand-first, one core active)...")
     alone = []
     for index, benchmark in enumerate(mix):
-        result = simulate(
+        result = api.simulate(
             baseline_config(1, policy="demand-first"),
             [benchmark],
-            max_accesses_per_core=ACCESSES,
+            ACCESSES,
             seed=index,
         )
         alone.append(result.cores[0].ipc)
@@ -48,10 +48,10 @@ def main() -> None:
     )
     print(header)
     for policy in POLICIES:
-        result = simulate(
+        result = api.simulate(
             baseline_config(4, policy=policy),
             mix,
-            max_accesses_per_core=ACCESSES,
+            ACCESSES,
         )
         together = result.ipcs()
         speedups = [t / a for t, a in zip(together, alone)]

@@ -13,7 +13,7 @@ Usage: python examples/policy_explorer.py [apki] [run_length]
 import sys
 from dataclasses import replace
 
-from repro import baseline_config, simulate
+from repro import api, baseline_config
 from repro.workloads import BenchmarkProfile
 
 ACCESSES = 6_000
@@ -45,7 +45,7 @@ def run(profile, policy, promotion_threshold=0.85, drop_scale=1.0):
             drop_thresholds=thresholds,
         ),
     )
-    return simulate(config, [profile], max_accesses_per_core=ACCESSES)
+    return api.simulate(config, [profile], ACCESSES)
 
 
 def main() -> None:

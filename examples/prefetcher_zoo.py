@@ -11,7 +11,7 @@ Usage: python examples/prefetcher_zoo.py [benchmark]
 
 import sys
 
-from repro import baseline_config, simulate
+from repro import api, baseline_config
 
 PREFETCHERS = ["stream", "stride", "cdc", "markov"]
 ACCESSES = 6_000
@@ -21,10 +21,10 @@ def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "leslie3d"
     print(f"benchmark: {benchmark}\n")
 
-    no_pref = simulate(
+    no_pref = api.simulate(
         baseline_config(1, policy="no-pref"),
         [benchmark],
-        max_accesses_per_core=ACCESSES,
+        ACCESSES,
     )
     print(f"no prefetching: IPC = {no_pref.ipc():.3f}\n")
     print(
@@ -36,9 +36,7 @@ def main() -> None:
             config = baseline_config(
                 1, policy=policy, prefetcher_kind=prefetcher
             )
-            result = simulate(
-                config, [benchmark], max_accesses_per_core=ACCESSES
-            )
+            result = api.simulate(config, [benchmark], ACCESSES)
             core = result.cores[0]
             print(
                 f"{prefetcher:<10}{policy:<16}{core.ipc:>7.3f}"

@@ -12,7 +12,7 @@ Usage: python examples/quickstart.py [benchmark] [accesses]
 
 import sys
 
-from repro import ALL_POLICIES, baseline_config, simulate
+from repro import ALL_POLICIES, api, baseline_config
 
 
 def main() -> None:
@@ -25,9 +25,14 @@ def main() -> None:
         f"{'traffic':>9}{'dropped':>9}"
     )
     baseline_ipc = None
+    last_padc = None
     for policy in ALL_POLICIES:
         config = baseline_config(num_cores=1, policy=policy)
-        result = simulate(config, [benchmark], max_accesses_per_core=accesses)
+        result = api.simulate(
+            config, [benchmark], accesses, telemetry=(policy == "padc")
+        )
+        if policy == "padc":
+            last_padc = result
         core = result.cores[0]
         if baseline_ipc is None and policy == "demand-first":
             baseline_ipc = core.ipc
@@ -38,6 +43,12 @@ def main() -> None:
             f"{core.accuracy:>7.2f}{core.coverage:>7.2f}"
             f"{result.total_traffic:>9}{result.dropped_prefetches:>9}"
         )
+    if last_padc is not None and last_padc.trace is not None:
+        from repro.telemetry import phase_summary
+
+        print("\nPADC phase summary (api.simulate(..., telemetry=True)):")
+        for line in phase_summary(last_padc.trace):
+            print(f"  * {line}")
     print(
         "\nnorm = IPC relative to no prefetching."
         "\nTry a prefetch-unfriendly benchmark next:"

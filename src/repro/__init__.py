@@ -11,13 +11,23 @@ runahead execution, and synthetic SPEC-like workloads.
 
 Quickstart::
 
-    from repro import baseline_config, simulate
+    from repro import api, baseline_config
 
     config = baseline_config(num_cores=4, policy="padc")
-    result = simulate(config, ["swim", "art", "libquantum", "milc"])
+    result = api.simulate(
+        config, ["swim", "art", "libquantum", "milc"], telemetry=True
+    )
     print(result.summary())
+    print(result.trace.num_intervals, "telemetry intervals")
+
+:mod:`repro.api` is the public front door — ``api.simulate`` runs one
+configuration in-process, ``api.submit`` goes through the cached
+parallel runtime, ``api.campaign`` drives whole sweeps.  ``simulate``
+is also re-exported here for one-liners.
 """
 
+from repro import api
+from repro.api import simulate
 from repro.controller import padc_storage_cost
 from repro.metrics import (
     geometric_mean,
@@ -37,7 +47,8 @@ from repro.params import (
     SystemConfig,
     baseline_config,
 )
-from repro.sim import SimResult, System, simulate
+from repro.sim import SimResult, System
+from repro.telemetry import SimTrace
 from repro.workloads import ALL_BENCHMARKS, get_profile, random_mix, workload_mixes
 
 __version__ = "1.0.0"
@@ -53,7 +64,9 @@ __all__ = [
     "PrefetcherConfig",
     "SystemConfig",
     "SimResult",
+    "SimTrace",
     "System",
+    "api",
     "baseline_config",
     "simulate",
     "get_profile",

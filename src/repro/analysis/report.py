@@ -13,9 +13,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
+from repro import api
 from repro.metrics import harmonic_speedup, unfairness, weighted_speedup
 from repro.params import SystemConfig, baseline_config
-from repro.sim import SimResult, simulate
+from repro.sim import SimResult
 
 
 def ascii_bar_chart(
@@ -84,9 +85,7 @@ def compare_policies(
             config = config_base.with_policy(policy)
         else:
             config = baseline_config(len(benchmarks), policy=policy)
-        result = simulate(
-            config, list(benchmarks), max_accesses_per_core=accesses, seed=seed
-        )
+        result = api.simulate(config, list(benchmarks), accesses, seed=seed)
         results[policy] = result
         rows.append(
             (

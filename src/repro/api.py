@@ -1,0 +1,179 @@
+"""The public simulation API: one front door for every way to run.
+
+Three verbs, one vocabulary:
+
+* :func:`simulate` — run one configuration right here, right now, and
+  get the :class:`~repro.sim.results.SimResult` back.  All tuning knobs
+  (``seed``, ``max_cycles``, ``collect_service_times``, ``check``,
+  ``telemetry``) are keyword-only, so call sites read unambiguously.
+* :func:`submit` / :func:`submit_many` — the same simulation through
+  the process-wide :class:`~repro.runtime.Runtime`: results come from
+  the on-disk cache when warm, from parallel workers when cold, and
+  are bit-for-bit identical either way.
+* :func:`campaign` — a whole sweep (a :class:`CampaignSpec`, a preset
+  name, or a spec dict) through the resumable campaign executor.
+
+``repro.experiments``, the examples and both CLIs call through this
+module, so its signatures are the project's compatibility surface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.params import SystemConfig
+from repro.runtime import Runtime, SimJob, get_runtime
+from repro.sim import results as _results
+from repro.sim import system as _system
+from repro.sim.results import SimResult
+from repro.telemetry.collector import NoopCollector
+
+ProfileLike = _system.ProfileLike
+TelemetryLike = Union[None, bool, NoopCollector]
+
+
+def simulate(
+    config: SystemConfig,
+    benchmarks: Sequence[ProfileLike],
+    max_accesses_per_core: int = 20_000,
+    *,
+    seed: int = 0,
+    max_cycles: Optional[int] = None,
+    collect_service_times: bool = False,
+    check: Optional[bool] = None,
+    telemetry: TelemetryLike = None,
+) -> SimResult:
+    """Run one simulation in-process and return its result.
+
+    ``telemetry=True`` attaches an interval-sampled
+    :class:`~repro.telemetry.trace.SimTrace` as ``result.trace``;
+    ``check=True`` (or ``$REPRO_CHECK=1``) audits invariants while
+    running.  Each call builds a fresh :class:`~repro.sim.system.System`
+    — the system itself refuses to run twice.
+    """
+    return _system.simulate(
+        config,
+        benchmarks,
+        max_accesses_per_core,
+        seed=seed,
+        max_cycles=max_cycles,
+        collect_service_times=collect_service_times,
+        check=check,
+        telemetry=telemetry,
+    )
+
+
+def _make_job(
+    config: SystemConfig,
+    benchmarks: Sequence[ProfileLike],
+    accesses: int,
+    seed: int,
+    **sim_kwargs,
+) -> SimJob:
+    # Default-valued knobs are dropped so a call that merely spells out a
+    # default hashes to the same cache key as one that omits it.  ``None``
+    # always means "default"; ``False`` is also the default for the two
+    # purely-additive knobs (but NOT for ``check``, where an explicit
+    # False overrides $REPRO_CHECK=1 and must survive).
+    pruned = {name: value for name, value in sim_kwargs.items() if value is not None}
+    for flag in ("telemetry", "collect_service_times"):
+        if pruned.get(flag) is False:
+            del pruned[flag]
+    if pruned.get("telemetry"):
+        # Collector objects are neither picklable nor hashable; through
+        # the runtime the knob is a plain flag.
+        pruned["telemetry"] = True
+    return SimJob.make(config, benchmarks, accesses, seed=seed, **pruned)
+
+
+def submit(
+    config: SystemConfig,
+    benchmarks: Sequence[ProfileLike],
+    max_accesses_per_core: int = 20_000,
+    *,
+    seed: int = 0,
+    runtime: Optional[Runtime] = None,
+    **sim_kwargs,
+) -> SimResult:
+    """Run one simulation through the cache-aware runtime.
+
+    Deterministic in its inputs: a warm cache returns the stored result,
+    a cold one computes and stores it.  Extra keyword arguments are the
+    same knobs :func:`simulate` takes (``max_cycles``, ``check``,
+    ``telemetry=True``, ...).
+    """
+    return submit_many(
+        [(config, benchmarks)],
+        max_accesses_per_core,
+        seed=seed,
+        runtime=runtime,
+        **sim_kwargs,
+    )[0]
+
+
+def submit_many(
+    runs: Sequence[Union[Tuple[SystemConfig, Sequence[ProfileLike]], SimJob]],
+    max_accesses_per_core: int = 20_000,
+    *,
+    seed: int = 0,
+    runtime: Optional[Runtime] = None,
+    **sim_kwargs,
+) -> List[SimResult]:
+    """Run a batch of simulations through the runtime, preserving order.
+
+    Each entry is either a ``(config, benchmarks)`` pair — which shares
+    the batch-wide access count, seed and simulate knobs — or a prebuilt
+    :class:`~repro.runtime.SimJob` for heterogeneous batches (per-entry
+    seeds, accesses, ...), used verbatim.  Cache hits are served without
+    touching a worker; identical entries are computed once.
+    """
+    runtime = runtime or get_runtime()
+    jobs = [
+        run
+        if isinstance(run, SimJob)
+        else _make_job(run[0], run[1], max_accesses_per_core, seed, **sim_kwargs)
+        for run in runs
+    ]
+    return runtime.run_many(jobs)
+
+
+def campaign(
+    spec,
+    *,
+    directory=None,
+    runtime: Optional[Runtime] = None,
+    retries: int = 1,
+):
+    """Run a sweep to completion; returns the :class:`CampaignRun`.
+
+    ``spec`` may be a :class:`~repro.campaign.CampaignSpec`, a preset
+    name from :mod:`repro.campaign.presets` (``"smoke"``, ``"paper"``),
+    or a spec dict (as produced by ``CampaignSpec.to_dict`` / written by
+    hand).  Resume-aware: a warm rerun touches no simulation.
+    """
+    # Imported lazily: repro.campaign pulls in repro.experiments, which
+    # itself imports this module.
+    from repro.campaign import CampaignSpec
+    from repro.campaign import executor as _executor
+
+    if isinstance(spec, str):
+        from repro.campaign import presets as _presets
+
+        spec = _presets.build(spec)
+    elif isinstance(spec, dict):
+        spec = CampaignSpec.from_dict(spec)
+    return _executor.submit(
+        spec, directory=directory, runtime=runtime, retries=retries
+    )
+
+
+RESULT_SCHEMA_VERSION = _results.RESULT_SCHEMA_VERSION
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "SimResult",
+    "campaign",
+    "simulate",
+    "submit",
+    "submit_many",
+]

@@ -49,6 +49,9 @@ class MSHR:
         # total_allocated - total_freed (audited by repro.validate).
         self.total_allocated = 0
         self.total_freed = 0
+        # High-water mark since the telemetry layer last sampled it (one
+        # compare per allocation; the collector resets it per interval).
+        self.peak_occupancy = 0
 
     def get(self, line_addr: int) -> Optional[MSHREntry]:
         return self._entries.get(line_addr)
@@ -66,6 +69,8 @@ class MSHR:
         entry = MSHREntry(line_addr, request)
         self._entries[line_addr] = entry
         self.total_allocated += 1
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
         return entry
 
     def free(self, line_addr: int) -> Optional[MSHREntry]:

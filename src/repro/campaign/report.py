@@ -43,7 +43,41 @@ EXPORT_COLUMNS = (
     "ws",
     "hs",
     "uf",
+    # Interval-telemetry series (filled only for traced jobs, i.e. runs
+    # submitted with ``telemetry=True`` in the spec's sim kwargs).
+    # Intervals are "|"-separated; per-core values within an interval
+    # are "/"-separated.  All values are deterministic — no timestamps —
+    # preserving the byte-for-byte resumed-export guarantee.
+    "telemetry_intervals",
+    "telemetry_par",
+    "telemetry_row_hits",
+    "telemetry_drops",
+    "telemetry_buffer_occupancy",
 )
+
+
+def _telemetry_columns(trace) -> Dict[str, str]:
+    """Flatten the headline trace series into deterministic CSV cells."""
+    return {
+        "telemetry_intervals": "|".join(str(cycle) for cycle in trace.intervals),
+        "telemetry_par": "|".join(
+            "/".join(f"{core[i]:.4f}" for core in trace.core("par"))
+            for i in range(trace.num_intervals)
+        ),
+        "telemetry_row_hits": "|".join(
+            str(int(value)) for value in trace.system("row_hits")
+        ),
+        "telemetry_drops": "|".join(
+            str(int(value)) for value in trace.system("drops")
+        ),
+        "telemetry_buffer_occupancy": "|".join(
+            f"{mean:.2f}/{int(peak)}"
+            for mean, peak in zip(
+                trace.system("buffer_occupancy_mean"),
+                trace.system("buffer_occupancy_max"),
+            )
+        ),
+    }
 
 
 def status_summary(campaign: Campaign) -> str:
@@ -126,6 +160,8 @@ def export_rows(campaign: Campaign, store) -> List[Dict]:
                 row_buffer_hit_rate=round(result.row_buffer_hit_rate, 6),
                 ipcs="/".join(f"{ipc:.6f}" for ipc in result.ipcs()),
             )
+            if result.trace is not None:
+                row.update(_telemetry_columns(result.trace))
             if job.kind == "grid":
                 slots = alone_table.get((job.workload_index, job.seed_offset), {})
                 alone = [slots.get(i) for i in range(len(job.benchmarks))]

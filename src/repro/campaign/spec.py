@@ -24,7 +24,7 @@ import inspect
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.params import ALL_POLICIES, baseline_config
+from repro.params import PolicyError, baseline_config, resolve_policy
 from repro.runtime import SimJob, content_hash
 from repro.workloads.profiles import ALL_BENCHMARKS
 
@@ -222,12 +222,13 @@ class CampaignSpec:
         if len(set(labels)) != len(labels):
             raise SpecError(f"duplicate policy labels: {labels}")
         for variant in self.policies:
-            if variant.policy not in ALL_POLICIES:
-                raise SpecError(
-                    f"policy {variant.label!r}: unknown scheduling policy "
-                    f"{variant.policy!r}{_suggest(variant.policy, ALL_POLICIES)}; "
-                    f"known policies: {', '.join(ALL_POLICIES)}"
-                )
+            # Route through the shared policy table so unknown spellings
+            # fail with the exact same did-you-mean error that
+            # SystemConfig.with_policy and baseline_config raise.
+            try:
+                resolve_policy(variant.policy)
+            except PolicyError as error:
+                raise SpecError(f"policy {variant.label!r}: {error}") from None
             _check_overrides(variant.overrides, f"policy {variant.label!r}")
         if not self.variants:
             raise SpecError("a campaign needs at least one config variant")
@@ -240,11 +241,10 @@ class CampaignSpec:
             raise SpecError("a campaign needs at least one seed offset")
         if len(set(self.seeds)) != len(self.seeds):
             raise SpecError(f"duplicate seed offsets: {list(self.seeds)}")
-        if self.alone_policy not in ALL_POLICIES:
-            raise SpecError(
-                f"unknown alone_policy {self.alone_policy!r}; "
-                f"known policies: {', '.join(ALL_POLICIES)}"
-            )
+        try:
+            resolve_policy(self.alone_policy)
+        except PolicyError as error:
+            raise SpecError(f"alone_policy: {error}") from None
         for key, value in self.sim_kwargs:
             if not isinstance(value, _PRIMITIVES):
                 raise SpecError(

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro cost --cores 4             # Tables 1-2 storage cost
     python -m repro experiment fig16 fig01     # regenerate paper artifacts
     python -m repro campaign run --name paper  # ledgered sweep (run/status/resume/export)
+    python -m repro telemetry report result.json  # interval telemetry reports
     python -m repro trace swim out.trace.gz --accesses 10000
 """
 
@@ -16,6 +17,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import api
 from repro.controller.cost import cost_as_fraction_of_l2, padc_storage_cost
 from repro.core.tracefile import save_trace
 from repro.metrics import harmonic_speedup, unfairness, weighted_speedup
@@ -50,6 +52,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run each benchmark alone and report WS/HS/UF",
     )
+    sim.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="trace interval telemetry and print the phase summary "
+        "(full reports: python -m repro.telemetry)",
+    )
     _add_runtime_flags(sim)
 
     sub.add_parser("benchmarks", help="list the workload profiles")
@@ -76,6 +84,13 @@ def _build_parser() -> argparse.ArgumentParser:
         add_help=False,
     )
     campaign.add_argument("rest", nargs=argparse.REMAINDER)
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="interval telemetry: report/run/campaign (see python -m repro.telemetry)",
+        add_help=False,
+    )
+    telemetry.add_argument("rest", nargs=argparse.REMAINDER)
     return parser
 
 
@@ -138,8 +153,14 @@ def _cmd_simulate(args) -> int:
     )
     runtime = _configure_runtime(args)
     sim_kwargs = {"check": True} if args.check else {}
-    result = runtime.run(
-        SimJob.make(config, benchmarks, args.accesses, seed=args.seed, **sim_kwargs)
+    result = api.submit(
+        config,
+        benchmarks,
+        args.accesses,
+        seed=args.seed,
+        runtime=runtime,
+        telemetry=args.telemetry,
+        **sim_kwargs,
     )
     print(f"policy={args.policy} cycles={result.total_cycles}")
     print(
@@ -159,6 +180,12 @@ def _cmd_simulate(args) -> int:
         f"useless-pref {breakdown['pref-useless']}); "
         f"row-buffer hit rate {result.row_buffer_hit_rate:.2f}"
     )
+    if args.telemetry and result.trace is not None:
+        from repro.telemetry import phase_summary
+
+        print("phase summary:")
+        for line in phase_summary(result.trace):
+            print(f"  * {line}")
     if args.alone and args.cores > 1:
         alone_config = baseline_config(1, policy="demand-first")
         alone_jobs = [
@@ -171,7 +198,10 @@ def _cmd_simulate(args) -> int:
             )
             for index, benchmark in enumerate(benchmarks)
         ]
-        alone = [run.cores[0].ipc for run in runtime.run_many(alone_jobs)]
+        alone = [
+            run.cores[0].ipc
+            for run in api.submit_many(alone_jobs, runtime=runtime)
+        ]
         together = result.ipcs()
         print(
             f"WS={weighted_speedup(together, alone):.3f} "
@@ -229,6 +259,12 @@ def _cmd_campaign(args) -> int:
     return campaign_main(args.rest)
 
 
+def _cmd_telemetry(args) -> int:
+    from repro.telemetry.__main__ import main as telemetry_main
+
+    return telemetry_main(args.rest)
+
+
 def _cmd_trace(args) -> int:
     entries = make_trace(args.benchmark, seed=args.seed)
     count = save_trace(entries, args.output, limit=args.accesses)
@@ -242,6 +278,7 @@ _COMMANDS = {
     "cost": _cmd_cost,
     "experiment": _cmd_experiment,
     "campaign": _cmd_campaign,
+    "telemetry": _cmd_telemetry,
     "trace": _cmd_trace,
 }
 

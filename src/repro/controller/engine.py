@@ -89,6 +89,9 @@ class DRAMControllerEngine:
         ]
         self._occupancy: List[int] = [0] * config.num_channels
         self._overflow: List[deque] = [deque() for _ in range(config.num_channels)]
+        # Per-channel occupancy high-water marks since the telemetry
+        # layer last sampled them (one compare per admission).
+        self.peak_occupancy: List[int] = [0] * config.num_channels
         self.stats = ControllerStats()
 
     # -- admission ---------------------------------------------------------
@@ -145,6 +148,8 @@ class DRAMControllerEngine:
         if not request.is_write:
             self._index[request.channel][request.line_addr] = request
         self._occupancy[request.channel] += 1
+        if self._occupancy[request.channel] > self.peak_occupancy[request.channel]:
+            self.peak_occupancy[request.channel] = self._occupancy[request.channel]
 
     def _unindex(self, request: MemRequest) -> None:
         """Drop ``request`` from the line-address index (identity-guarded)."""

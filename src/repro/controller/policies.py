@@ -94,4 +94,17 @@ def make_policy(
         return AdaptivePrefetchScheduler(
             tracker, use_urgency=use_urgency, use_ranking=use_ranking
         )
-    raise ValueError(f"unknown scheduling policy: {name!r}")
+    # Unknown or alias spelling: resolve through the shared policy table
+    # so the error (did-you-mean included) matches every other surface;
+    # aliases recurse with their canonical name and bundled knobs.
+    from repro.params import resolve_policy
+
+    entry = resolve_policy(name)
+    knobs = dict(entry.padc)
+    return make_policy(
+        entry.policy,
+        tracker=tracker,
+        use_urgency=knobs.get("use_urgency", use_urgency),
+        use_ranking=knobs.get("use_ranking", use_ranking),
+        num_cores=num_cores,
+    )

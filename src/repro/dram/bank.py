@@ -25,7 +25,15 @@ class RowBufferState(enum.Enum):
 class Bank:
     """One DRAM bank: open-row state plus a busy-until timestamp."""
 
-    __slots__ = ("timings", "open_row", "busy_until", "hits", "closed_accesses", "conflicts")
+    __slots__ = (
+        "timings",
+        "open_row",
+        "busy_until",
+        "hits",
+        "closed_accesses",
+        "conflicts",
+        "busy_cycles",
+    )
 
     def __init__(self, timings: DRAMTimings):
         self.timings = timings
@@ -34,6 +42,10 @@ class Bank:
         self.hits = 0
         self.closed_accesses = 0
         self.conflicts = 0
+        # Lifetime cycles this bank spent occupied (command sequence +
+        # burst); the telemetry layer differences it per interval for the
+        # per-bank utilization series.
+        self.busy_cycles = 0
 
     def classify(self, row: int) -> RowBufferState:
         """Classify an access to ``row`` against the current row buffer."""

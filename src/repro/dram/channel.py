@@ -26,6 +26,10 @@ class Channel:
         ]
         self.bus_busy_until: int = 0
         self.lines_transferred: int = 0
+        # Lifetime data-bus cycles booked (one burst per line); the
+        # telemetry layer differences it per interval for the bus
+        # utilization series.
+        self.bus_busy_cycles: int = 0
 
     def _reserve_bus(self, earliest: int, duration: int) -> int:
         """Book ``duration`` bus cycles, in scheduling order.
@@ -41,6 +45,7 @@ class Channel:
         """
         start = max(earliest, self.bus_busy_until)
         self.bus_busy_until = start + duration
+        self.bus_busy_cycles += duration
         return start
 
     def bank_free(self, bank_idx: int, now: int) -> bool:
@@ -75,6 +80,7 @@ class Channel:
             self.config.timings.cl if self.config.timings.pipelined_cas else 0
         )
         bank.busy_until = burst_end
+        bank.busy_cycles += burst_end - now
         self.lines_transferred += 1
         return state, completion
 

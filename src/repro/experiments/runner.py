@@ -8,10 +8,11 @@
   memoized simulation helpers shared by all experiments (the paper
   measures IPC_alone with the demand-first policy, §5.2).
 
-All simulations submit through :mod:`repro.runtime`: independent jobs
-fan out over worker processes when ``--jobs``/``$REPRO_JOBS`` asks for
-more than one, and every result is persisted to the on-disk cache so a
-rerun at the same scale and seeds performs no new simulation work.
+All simulations submit through :func:`repro.api.submit_many`:
+independent jobs fan out over worker processes when
+``--jobs``/``$REPRO_JOBS`` asks for more than one, and every result is
+persisted to the on-disk cache so a rerun at the same scale and seeds
+performs no new simulation work.
 """
 
 from __future__ import annotations
@@ -20,9 +21,10 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import api
 from repro.metrics import harmonic_speedup, unfairness, weighted_speedup
 from repro.params import SystemConfig, baseline_config
-from repro.runtime import SimJob, config_fingerprint, get_runtime
+from repro.runtime import SimJob, config_fingerprint
 from repro.sim import SimResult
 
 DEFAULT_POLICIES = (
@@ -205,7 +207,7 @@ def alone_ipcs(
             SimJob.make(base, [benchmark], accesses, seed=seed + index)
             for index, benchmark in missing
         ]
-        for (index, _), result in zip(missing, get_runtime().run_many(jobs)):
+        for (index, _), result in zip(missing, api.submit_many(jobs)):
             _ALONE_CACHE[keys[index]] = result.cores[0].ipc
     return [_ALONE_CACHE[key] for key in keys]
 
@@ -236,14 +238,14 @@ def run_policies(
     runtime: cache hits load from disk, misses fan out over ``--jobs``
     worker processes.
     """
-    jobs = []
+    runs = []
     for policy in policies:
         if config_builder is not None:
             config = config_builder(policy)
         else:
             config = baseline_config(len(benchmarks), policy=policy)
-        jobs.append(SimJob.make(config, benchmarks, accesses, seed=seed, **sim_kwargs))
-    results = get_runtime().run_many(jobs)
+        runs.append((config, benchmarks))
+    results = api.submit_many(runs, accesses, seed=seed, **sim_kwargs)
     return dict(zip(policies, results))
 
 
@@ -255,11 +257,12 @@ def run_configs(
     **sim_kwargs,
 ) -> List[SimResult]:
     """Run one workload under several explicit configs as one batch."""
-    jobs = [
-        SimJob.make(config, benchmarks, accesses, seed=seed, **sim_kwargs)
-        for config in configs
-    ]
-    return get_runtime().run_many(jobs)
+    return api.submit_many(
+        [(config, benchmarks) for config in configs],
+        accesses,
+        seed=seed,
+        **sim_kwargs,
+    )
 
 
 def speedup_metrics(

@@ -7,8 +7,9 @@ DRAM whose 15 ns command latencies become 60-cycle latencies.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -143,6 +144,65 @@ class PADCConfig:
     age_granularity: int = 100
 
 
+class PolicyError(ValueError):
+    """An unknown scheduling-policy name; the message suggests fixes."""
+
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    """One row of the policy table.
+
+    ``policy`` is the canonical scheduler name handed to
+    :func:`repro.controller.policies.make_policy`; ``padc`` holds the
+    :class:`PADCConfig` knob settings the spelling implies (e.g. the
+    paper's "padc-rank" is PADC with ``use_ranking=True``).
+    """
+
+    policy: str
+    padc: Tuple[Tuple[str, object], ...] = ()
+
+
+# The single policy-name registry.  Every surface that accepts a policy
+# string — SystemConfig.with_policy, baseline_config, campaign
+# PolicyVariant/alone_policy validation — resolves through this table,
+# so an unknown spelling fails with the same did-you-mean error
+# everywhere instead of diverging per entry point.
+POLICY_TABLE: Dict[str, PolicyEntry] = {
+    # The paper's headline policies (Figure 9's x-axis).
+    "no-pref": PolicyEntry("no-pref"),
+    "demand-first": PolicyEntry("demand-first"),
+    "demand-prefetch-equal": PolicyEntry("demand-prefetch-equal"),
+    "prefetch-first": PolicyEntry("prefetch-first"),
+    "aps": PolicyEntry("aps"),
+    "padc": PolicyEntry("padc"),
+    # Comparison points (§6.12 APD-on-rigid, §6.6 PAR-BS interaction).
+    "demand-first-apd": PolicyEntry("demand-first-apd"),
+    "parbs": PolicyEntry("parbs"),
+    # Aliases bundling PADC knob settings (paper §6.6 and §6.8).
+    "padc-rank": PolicyEntry("padc", (("use_ranking", True),)),
+    "aps-rank": PolicyEntry("aps", (("use_ranking", True),)),
+    "padc-no-urgency": PolicyEntry("padc", (("use_urgency", False),)),
+}
+
+
+def resolve_policy(name: str) -> PolicyEntry:
+    """Look a policy spelling up in :data:`POLICY_TABLE`.
+
+    Raises :class:`PolicyError` (a ``ValueError``) with a did-you-mean
+    suggestion for unknown names; this is the one error message every
+    policy-accepting surface shares.
+    """
+    try:
+        return POLICY_TABLE[name]
+    except (KeyError, TypeError):
+        close = difflib.get_close_matches(str(name), list(POLICY_TABLE), n=3)
+        hint = f" (did you mean {', '.join(close)}?)" if close else ""
+        raise PolicyError(
+            f"unknown scheduling policy {name!r}{hint}; "
+            f"known policies: {', '.join(POLICY_TABLE)}"
+        ) from None
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Full system: cores, caches, prefetchers, DRAM, scheduling policy.
@@ -160,9 +220,19 @@ class SystemConfig:
     policy: str = "demand-first"
 
     def with_policy(self, policy: str, **padc_overrides) -> "SystemConfig":
-        """Return a copy of this config with a different scheduling policy."""
-        padc = replace(self.padc, **padc_overrides) if padc_overrides else self.padc
-        return replace(self, policy=policy, padc=padc)
+        """Return a copy of this config with a different scheduling policy.
+
+        ``policy`` is resolved through :data:`POLICY_TABLE`, so table
+        aliases work (``with_policy("padc-rank")`` is PADC with
+        ``use_ranking=True``) and an unknown name raises the shared
+        did-you-mean :class:`PolicyError`.  Explicit ``padc_overrides``
+        win over the table's knob settings.
+        """
+        entry = resolve_policy(policy)
+        merged = dict(entry.padc)
+        merged.update(padc_overrides)
+        padc = replace(self.padc, **merged) if merged else self.padc
+        return replace(self, policy=entry.policy, padc=padc)
 
     def scaled_request_buffer(self) -> int:
         """Request-buffer entries scaled with core count (paper Table 4)."""
@@ -183,15 +253,27 @@ def baseline_config(
     permutation: bool = False,
     runahead: bool = False,
     filter_kind: Optional[str] = None,
-    use_ranking: bool = False,
-    use_urgency: bool = True,
+    use_ranking: Optional[bool] = None,
+    use_urgency: Optional[bool] = None,
 ) -> SystemConfig:
     """Build the paper's baseline configuration for an N-core CMP.
 
     Mirrors Tables 3 and 4: 512KB private L2 per core (1MB for single
     core), 64/64/128/256-entry request buffers for 1/2/4/8 cores, one
     memory controller with 8 banks and 4KB row buffers.
+
+    ``policy`` resolves through :data:`POLICY_TABLE` (unknown names get
+    the shared did-you-mean error); table aliases such as ``padc-rank``
+    pre-set the PADC knobs, and explicit ``use_ranking``/``use_urgency``
+    arguments override them.
     """
+    entry = resolve_policy(policy)
+    padc_knobs = {"use_ranking": False, "use_urgency": True}
+    padc_knobs.update(dict(entry.padc))
+    if use_ranking is not None:
+        padc_knobs["use_ranking"] = use_ranking
+    if use_urgency is not None:
+        padc_knobs["use_urgency"] = use_urgency
     if cache_kb_per_core is None:
         cache_kb_per_core = 1024 if num_cores == 1 else 512
     # 48 in-flight line fills per core: enough that the *shared* DRAM
@@ -224,8 +306,8 @@ def baseline_config(
         cache=cache,
         dram=dram,
         prefetcher=PrefetcherConfig(kind=prefetcher_kind, filter_kind=filter_kind),
-        padc=PADCConfig(use_ranking=use_ranking, use_urgency=use_urgency),
-        policy=policy,
+        padc=PADCConfig(**padc_knobs),
+        policy=entry.policy,
     )
 
 

@@ -71,6 +71,8 @@ class FDPController:
         self.pollution_threshold = pollution_threshold
         self.level = initial_level
         self.pollution_filter = PollutionFilter()
+        # Lifetime count of level moves (telemetry observable).
+        self.level_changes = 0
         # Interval counters, reset by ``adjust``.
         self.sent = 0
         self.used = 0
@@ -84,7 +86,10 @@ class FDPController:
         self.prefetcher.set_aggressiveness(degree, distance)
 
     def _step(self, delta: int) -> None:
-        self.level = max(0, min(len(AGGRESSIVENESS_LEVELS) - 1, self.level + delta))
+        new_level = max(0, min(len(AGGRESSIVENESS_LEVELS) - 1, self.level + delta))
+        if new_level != self.level:
+            self.level_changes += 1
+        self.level = new_level
 
     def adjust(self) -> int:
         """End-of-interval decision; returns the new level."""

@@ -33,7 +33,9 @@ from repro.sim.results import SimResult
 # simulator semantics or the SimResult schema.
 # v2: APD drop-age fix, FDP retry single-counting, writeback index fix,
 #     new CoreResult fields (pf_evicted_unused, mshr_stalls).
-CACHE_VERSION = 2
+# v3: SimResult schema v2 (schema_version fields, interval-telemetry
+#     trace) and the telemetry sim kwarg.
+CACHE_VERSION = 3
 
 DEFAULT_CACHE_DIR = "~/.cache/repro"
 

@@ -11,6 +11,15 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
+from repro.telemetry.trace import SimTrace
+
+# Version of the CoreResult/SimResult serialized form.  Bump whenever a
+# field is added, removed or reinterpreted (and bump CACHE_VERSION in
+# repro.runtime.store alongside, so stale cached payloads are ignored
+# rather than misread).  History: 1 = pre-telemetry; 2 = adds
+# schema_version itself plus SimResult.trace.
+RESULT_SCHEMA_VERSION = 2
+
 
 @dataclass
 class CoreResult:
@@ -53,6 +62,7 @@ class CoreResult:
     # Optional service-time samples for Figure 4(a).
     useful_service_times: List[int] = field(default_factory=list)
     useless_service_times: List[int] = field(default_factory=list)
+    schema_version: int = RESULT_SCHEMA_VERSION
 
     @property
     def ipc(self) -> float:
@@ -136,6 +146,9 @@ class SimResult:
     prefetches_rejected_full: int = 0
     demand_overflows: int = 0
     accuracy_history: Optional[List[List[float]]] = None
+    # Interval telemetry (present only when the run was traced).
+    trace: Optional[SimTrace] = None
+    schema_version: int = RESULT_SCHEMA_VERSION
 
     @property
     def num_cores(self) -> int:
@@ -173,9 +186,15 @@ class SimResult:
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "SimResult":
-        rest = {key: value for key, value in payload.items() if key != "cores"}
+        rest = {
+            key: value
+            for key, value in payload.items()
+            if key not in ("cores", "trace")
+        }
         cores = [CoreResult.from_dict(core) for core in payload["cores"]]
-        return cls(cores=cores, **rest)
+        trace_payload = payload.get("trace")
+        trace = SimTrace.from_dict(trace_payload) if trace_payload else None
+        return cls(cores=cores, trace=trace, **rest)
 
     def summary(self) -> Dict[str, float]:
         """Compact scalar summary for tables and benchmarks."""

@@ -37,6 +37,7 @@ from repro.prefetch.base import make_prefetcher
 from repro.prefetch.ddpf import DDPFFilter
 from repro.prefetch.fdp import FDPController
 from repro.sim.results import CoreResult, SimResult
+from repro.telemetry.collector import NoopCollector, as_collector
 from repro.validate.checker import InvariantChecker, check_enabled
 from repro.workloads.profiles import BenchmarkProfile, get_profile
 from repro.workloads.synthetic import SyntheticTraceGenerator
@@ -67,6 +68,7 @@ class System:
         seed: int = 0,
         collect_service_times: bool = False,
         check: Optional[bool] = None,
+        telemetry: Union[None, bool, NoopCollector] = None,
     ):
         if len(benchmarks) != config.num_cores:
             raise ValueError(
@@ -162,6 +164,12 @@ class System:
         self.checker: Optional[InvariantChecker] = (
             InvariantChecker(self) if check else None
         )
+        # Interval telemetry (DESIGN.md §9).  The per-tick hook is guarded
+        # by ``_telemetry_on`` so the disabled path costs one branch; the
+        # interval hooks run unconditionally (they are off the hot path).
+        self.telemetry = as_collector(telemetry)
+        self._telemetry_on = self.telemetry.enabled
+        self._ran = False
 
     # -- event plumbing ------------------------------------------------------
 
@@ -187,6 +195,14 @@ class System:
         trace (the stand-in for the paper's 200M-instruction Pinpoint
         slices); ``max_cycles`` is a safety bound.
         """
+        if self._ran:
+            raise RuntimeError(
+                "System.run() called twice: a System holds run state (event "
+                "heap, counters, trace cursors) and cannot be re-run; build "
+                "a fresh System, or use repro.api.simulate() which does"
+            )
+        self._ran = True
+        self.telemetry.on_start(self)
         for core in self.cores:
             core.target_accesses = max_accesses_per_core
             self._schedule_core_next(core, 0)
@@ -433,6 +449,8 @@ class System:
     # -- DRAM events --------------------------------------------------------------
 
     def _handle_tick(self, channel: int, now: int) -> None:
+        if self._telemetry_on:
+            self.telemetry.on_tick(self, channel, now)
         serviced, next_wake = self.engine.tick(channel, now)
         for request in serviced:
             self._push(request.completion, _FILL, request)
@@ -559,10 +577,14 @@ class System:
             # Audit before end_interval resets PSC/PUC: the checker compares
             # the live interval counters against the per-core stat deltas.
             self.checker.on_interval(now)
+        # Telemetry brackets the PAR recomputation: the pre-hook reads the
+        # interval's live PSC/PUC, the post-hook the derived PAR state.
+        self.telemetry.on_interval_pre(self, now)
         self.tracker.end_interval()
         for fdp in self._fdp:
             if fdp is not None:
                 fdp.adjust()
+        self.telemetry.on_interval_post(self, now)
         if self._active_cores > 0:
             self._push(now + self.tracker.interval, _INTERVAL, None)
 
@@ -594,6 +616,7 @@ class System:
         )
         if self.checker is not None:
             self.checker.on_end(end_time)
+        trace = self.telemetry.finalize(self, end_time)
         return SimResult(
             policy=self.config.policy,
             cores=self.results,
@@ -606,6 +629,7 @@ class System:
             prefetches_rejected_full=engine_stats.prefetches_rejected_full,
             demand_overflows=engine_stats.demand_overflows,
             accuracy_history=[list(h) for h in self.tracker.history],
+            trace=trace,
         )
 
 
@@ -613,15 +637,20 @@ def simulate(
     config: SystemConfig,
     benchmarks: Sequence[ProfileLike],
     max_accesses_per_core: int = 20_000,
+    *,
     seed: int = 0,
     max_cycles: Optional[int] = None,
     collect_service_times: bool = False,
     check: Optional[bool] = None,
+    telemetry: Union[None, bool, NoopCollector] = None,
 ) -> SimResult:
     """Build a :class:`System` and run it — the one-call entry point.
 
-    ``check=True`` (or ``$REPRO_CHECK=1`` with ``check=None``) runs the
-    simulation under the :mod:`repro.validate` invariant auditor.
+    The tuning knobs are keyword-only.  ``check=True`` (or
+    ``$REPRO_CHECK=1`` with ``check=None``) runs the simulation under the
+    :mod:`repro.validate` invariant auditor; ``telemetry=True`` (or a
+    collector instance) attaches an interval-sampled
+    :class:`~repro.telemetry.trace.SimTrace` to the result.
     """
     system = System(
         config,
@@ -629,5 +658,6 @@ def simulate(
         seed=seed,
         collect_service_times=collect_service_times,
         check=check,
+        telemetry=telemetry,
     )
     return system.run(max_accesses_per_core, max_cycles=max_cycles)

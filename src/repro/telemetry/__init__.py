@@ -1,0 +1,40 @@
+"""Interval telemetry: low-overhead time series of a simulation run.
+
+The subsystem has three layers:
+
+* :mod:`repro.telemetry.trace` — the schema-versioned :class:`SimTrace`
+  container (per-interval PAR, drop, row-buffer, occupancy series);
+* :mod:`repro.telemetry.collector` — the samplers: a
+  :class:`NoopCollector` null object (telemetry off: zero per-event
+  work) and the real :class:`TelemetryCollector` hooked at the
+  simulator's accuracy-interval boundaries;
+* :mod:`repro.telemetry.report` — plain-text interval tables and the
+  phase summary, also exposed as ``python -m repro.telemetry``.
+
+Enable tracing with ``repro.api.simulate(..., telemetry=True)``; the
+trace rides on ``SimResult.trace`` through ``to_dict``, the result
+store and campaign exports.
+"""
+
+from repro.telemetry.collector import NoopCollector, TelemetryCollector, as_collector
+from repro.telemetry.report import phase_summary, render_report
+from repro.telemetry.trace import (
+    CORE_SERIES,
+    SYSTEM_SERIES,
+    TRACE_SCHEMA_VERSION,
+    SimTrace,
+    TraceSchemaError,
+)
+
+__all__ = [
+    "CORE_SERIES",
+    "SYSTEM_SERIES",
+    "TRACE_SCHEMA_VERSION",
+    "NoopCollector",
+    "SimTrace",
+    "TelemetryCollector",
+    "TraceSchemaError",
+    "as_collector",
+    "phase_summary",
+    "render_report",
+]

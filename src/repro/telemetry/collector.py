@@ -1,0 +1,271 @@
+"""Telemetry collectors: the null object and the real interval sampler.
+
+The simulator talks to a collector through five hooks:
+
+* ``on_start(system)`` — once, before the first event;
+* ``on_tick(system, channel_id, now)`` — every DRAM scheduling round
+  (guarded by ``System._telemetry_on``, so the disabled path pays one
+  attribute test and nothing else);
+* ``on_interval_pre(system, now)`` — at each accuracy-interval boundary
+  *before* ``tracker.end_interval()`` resets PSC/PUC and before FDP
+  adjusts, so the interval's raw counters are still live;
+* ``on_interval_post(system, now)`` — same boundary, *after* the PAR
+  recomputation, so the freshly derived PAR / criticality / drop
+  threshold are visible;
+* ``finalize(system, end_time)`` — at end-of-sim; closes a partial final
+  interval and returns the :class:`~repro.telemetry.trace.SimTrace`
+  (or ``None`` for the null object).
+
+Everything the sampler reads is either an existing simulator counter or
+one of the O(1) always-on counters added for telemetry (bank/bus busy
+cycles, occupancy high-water marks, FDP level moves); the collector
+differences them per interval, so per-event work stays out of the hot
+path even when tracing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.telemetry.trace import CORE_SERIES, SYSTEM_SERIES, SimTrace
+
+
+class NoopCollector:
+    """Telemetry disabled: every hook is a no-op, ``finalize`` is None.
+
+    ``System`` checks the class attribute ``enabled`` once and skips the
+    per-tick call entirely, so this object only sees the (cheap,
+    unconditional) interval and lifecycle hooks.
+    """
+
+    enabled = False
+
+    def on_start(self, system) -> None:
+        pass
+
+    def on_tick(self, system, channel_id: int, now: int) -> None:
+        pass
+
+    def on_interval_pre(self, system, now: int) -> None:
+        pass
+
+    def on_interval_post(self, system, now: int) -> None:
+        pass
+
+    def finalize(self, system, end_time: int) -> Optional[SimTrace]:
+        return None
+
+
+_NOOP = NoopCollector()
+
+
+class TelemetryCollector(NoopCollector):
+    """Interval-sampled telemetry of one simulation run."""
+
+    enabled = True
+
+    def __init__(self):
+        self._started = False
+        self._trace: Optional[SimTrace] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def on_start(self, system) -> None:
+        if self._started:
+            raise RuntimeError(
+                "a TelemetryCollector records one run; build a new one "
+                "(or call repro.api.simulate again) for another"
+            )
+        self._started = True
+        config = system.config
+        n = config.num_cores
+        self._trace = SimTrace(
+            interval_cycles=system.tracker.interval,
+            num_cores=n,
+            policy=config.policy,
+            promotion_threshold=system.tracker.promotion_threshold,
+            core_series={name: [[] for _ in range(n)] for name in CORE_SERIES},
+            system_series={name: [] for name in SYSTEM_SERIES},
+        )
+        self._last_boundary = 0
+        # Per-tick accumulators (reset every interval).
+        self._buffer_sum = 0
+        self._buffer_count = 0
+        self._mshr_sum = [0] * n
+        self._mshr_count = 0
+        # Previous-boundary snapshots of lifetime counters.
+        self._prev_stall = [0] * n
+        self._prev_dropped = [0] * n
+        self._prev_row = (0, 0, 0)
+        self._prev_drops = 0
+        self._prev_overflows = 0
+        self._prev_bus_busy = 0
+        self._prev_bank_busy = 0
+        self._reset_peaks(system)
+
+    def on_tick(self, system, channel_id: int, now: int) -> None:
+        self._buffer_sum += system.engine.occupancy(channel_id)
+        self._buffer_count += 1
+        for core_id, mshr in enumerate(system._mshrs):
+            self._mshr_sum[core_id] += mshr.occupancy
+        self._mshr_count += 1
+
+    def on_interval_pre(self, system, now: int) -> None:
+        self._sample_counters(system, now, partial=False)
+
+    def on_interval_post(self, system, now: int) -> None:
+        self._sample_derived(system, now)
+
+    def finalize(self, system, end_time: int) -> Optional[SimTrace]:
+        trace = self._trace
+        if trace is None:
+            raise RuntimeError("finalize() before on_start()")
+        if end_time > self._last_boundary:
+            # Close the partial tail interval.  PSC/PUC are live (no
+            # end_interval ran), and PAR & friends are as-of the last
+            # recomputation — exactly what the simulator was acting on.
+            self._sample_counters(system, end_time, partial=True)
+            self._sample_derived(system, end_time)
+        return trace.validate()
+
+    # -- sampling --------------------------------------------------------------
+
+    def _reset_peaks(self, system) -> None:
+        """Re-arm high-water marks at the current level for the next interval."""
+        engine = system.engine
+        for channel_id in range(len(engine.peak_occupancy)):
+            engine.peak_occupancy[channel_id] = engine.occupancy(channel_id)
+        for mshr in {id(m): m for m in system._mshrs}.values():
+            mshr.peak_occupancy = mshr.occupancy
+
+    def _sample_counters(self, system, now: int, partial: bool) -> None:
+        """First half of a sample: everything read *before* the PAR reset."""
+        trace = self._trace
+        core_series = trace.core_series
+        tracker = system.tracker
+        engine = system.engine
+        elapsed = now - self._last_boundary
+
+        for core_id, core in enumerate(system.cores):
+            stats = system.results[core_id]
+            core_series["pf_sent"][core_id].append(tracker.psc[core_id])
+            core_series["pf_used"][core_id].append(tracker.puc[core_id])
+            core_series["pf_dropped"][core_id].append(
+                stats.pf_dropped - self._prev_dropped[core_id]
+            )
+            self._prev_dropped[core_id] = stats.pf_dropped
+            # Charge an open stall up to the boundary so a core parked for
+            # several intervals shows the pressure in each of them.
+            effective_stall = core.stall_cycles + (
+                now - core.stall_start if core.stalled and not core.done else 0
+            )
+            core_series["stall_cycles"][core_id].append(
+                max(0, effective_stall - self._prev_stall[core_id])
+            )
+            self._prev_stall[core_id] = effective_stall
+            mshr = system._mshrs[core_id]
+            mean = (
+                self._mshr_sum[core_id] / self._mshr_count
+                if self._mshr_count
+                else float(mshr.occupancy)
+            )
+            core_series["mshr_occupancy_mean"][core_id].append(round(mean, 4))
+            core_series["mshr_occupancy_max"][core_id].append(
+                max(mshr.peak_occupancy, mshr.occupancy)
+            )
+
+        system_series = trace.system_series
+        banks = [bank for channel in engine.channels for bank in channel.banks]
+        row = (
+            sum(bank.hits for bank in banks),
+            sum(bank.closed_accesses for bank in banks),
+            sum(bank.conflicts for bank in banks),
+        )
+        system_series["row_hits"].append(row[0] - self._prev_row[0])
+        system_series["row_closed"].append(row[1] - self._prev_row[1])
+        system_series["row_conflicts"].append(row[2] - self._prev_row[2])
+        self._prev_row = row
+        system_series["drops"].append(
+            engine.stats.dropped_prefetches - self._prev_drops
+        )
+        self._prev_drops = engine.stats.dropped_prefetches
+        system_series["demand_overflows"].append(
+            engine.stats.demand_overflows - self._prev_overflows
+        )
+        self._prev_overflows = engine.stats.demand_overflows
+
+        bus_busy = sum(channel.bus_busy_cycles for channel in engine.channels)
+        bank_busy = sum(bank.busy_cycles for bank in banks)
+        channels = len(engine.channels)
+        if elapsed > 0:
+            bus_util = (bus_busy - self._prev_bus_busy) / (channels * elapsed)
+            bank_util = (bank_busy - self._prev_bank_busy) / (len(banks) * elapsed)
+        else:
+            bus_util = bank_util = 0.0
+        # Booked-ahead bursts can exceed the wall-clock interval; clamp so
+        # the series reads as a fraction.
+        system_series["bus_utilization"].append(round(min(1.0, bus_util), 4))
+        system_series["bank_utilization"].append(round(min(1.0, bank_util), 4))
+        self._prev_bus_busy = bus_busy
+        self._prev_bank_busy = bank_busy
+
+        occupancies = [engine.occupancy(c) for c in range(channels)]
+        buffer_mean = (
+            self._buffer_sum / self._buffer_count
+            if self._buffer_count
+            else float(max(occupancies, default=0))
+        )
+        system_series["buffer_occupancy_mean"].append(round(buffer_mean, 4))
+        system_series["buffer_occupancy_max"].append(
+            max(
+                max(engine.peak_occupancy, default=0),
+                max(occupancies, default=0),
+            )
+        )
+
+        self._buffer_sum = 0
+        self._buffer_count = 0
+        self._mshr_sum = [0] * trace.num_cores
+        self._mshr_count = 0
+        self._reset_peaks(system)
+        self._last_boundary = now
+
+    def _sample_derived(self, system, now: int) -> None:
+        """Second half: PAR-derived state, read *after* the recomputation."""
+        trace = self._trace
+        core_series = trace.core_series
+        tracker = system.tracker
+        for core_id in range(trace.num_cores):
+            core_series["par"][core_id].append(round(tracker.par[core_id], 6))
+            core_series["prefetch_critical"][core_id].append(
+                int(tracker.prefetch_critical[core_id])
+            )
+            core_series["drop_threshold"][core_id].append(
+                tracker.drop_threshold[core_id]
+            )
+            fdp = system._fdp[core_id]
+            core_series["fdp_level"][core_id].append(
+                fdp.level if fdp is not None else -1
+            )
+        trace.intervals.append(now)
+
+
+CollectorLike = Union[None, bool, NoopCollector]
+
+
+def as_collector(value: CollectorLike) -> NoopCollector:
+    """Coerce the public ``telemetry=`` knob to a collector instance.
+
+    ``None``/``False`` → the shared null object, ``True`` → a fresh
+    :class:`TelemetryCollector`, a collector instance → itself.
+    """
+    if value is None or value is False:
+        return _NOOP
+    if value is True:
+        return TelemetryCollector()
+    if isinstance(value, NoopCollector):
+        return value
+    raise TypeError(
+        f"telemetry must be None, a bool, or a collector instance; "
+        f"got {type(value).__name__}"
+    )

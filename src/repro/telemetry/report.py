@@ -1,0 +1,187 @@
+"""Plain-text rendering of a :class:`~repro.telemetry.trace.SimTrace`.
+
+Two views:
+
+* :func:`render_report` — one table row per sampling interval (PAR per
+  core, criticality bits, prefetch/drop counts, row-buffer breakdown,
+  bus and buffer pressure);
+* :func:`phase_summary` — a short narrative of phase behaviour: when
+  each core crossed the promotion threshold, where APD drops spiked
+  (and whether a threshold crossing preceded the spike), peak queue
+  pressure, and FDP level movement.
+
+Both are pure functions of the trace, so they render identically for a
+live result, a cached one, or a campaign export.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.telemetry.trace import SimTrace
+
+# A drop spike must exceed both this multiple of the all-interval mean
+# and an absolute floor, so quiet traces do not report noise.
+_SPIKE_FACTOR = 2.0
+_SPIKE_MIN_DROPS = 4
+# How many intervals after a downward PAR crossing a drop spike is
+# still attributed to it.
+_CAUSE_WINDOW = 3
+
+
+def _fmt_cores(values, fmt: str) -> str:
+    return "/".join(fmt.format(v) for v in values)
+
+
+def render_report(trace: SimTrace, max_rows: int = 40) -> str:
+    """Per-interval table; the middle is elided past ``max_rows`` rows."""
+    n = trace.num_intervals
+    header = (
+        f"telemetry: policy={trace.policy or '?'} cores={trace.num_cores} "
+        f"interval={trace.interval_cycles} cycles, {n} sample(s), "
+        f"promotion threshold {trace.promotion_threshold:.2f}"
+    )
+    if n == 0:
+        return header + "\n(no intervals sampled — run shorter than one interval?)"
+    columns = (
+        f"{'#':>4} {'cycle':>10} {'par':>17} {'crit':>5} {'sent':>6} "
+        f"{'used':>6} {'drop':>5} {'row h/c/x':>17} {'bus%':>5} "
+        f"{'buf avg/max':>12} {'stall%':>7}"
+    )
+    rows: List[str] = [header, columns]
+
+    par = trace.core("par")
+    crit = trace.core("prefetch_critical")
+    sent = trace.core("pf_sent")
+    used = trace.core("pf_used")
+    stall = trace.core("stall_cycles")
+    drops = trace.system("drops")
+    row_h = trace.system("row_hits")
+    row_c = trace.system("row_closed")
+    row_x = trace.system("row_conflicts")
+    bus = trace.system("bus_utilization")
+    buf_mean = trace.system("buffer_occupancy_mean")
+    buf_max = trace.system("buffer_occupancy_max")
+
+    if n > max_rows:
+        head = max_rows // 2
+        shown = list(range(head)) + [-1] + list(range(n - (max_rows - head), n))
+    else:
+        shown = list(range(n))
+    for i in shown:
+        if i == -1:
+            rows.append(f"{'...':>4} ({n - max_rows} interval(s) elided)")
+            continue
+        cycle = trace.intervals[i]
+        elapsed = max(1, cycle - (trace.intervals[i - 1] if i else 0))
+        stall_pct = 100.0 * sum(s[i] for s in stall) / (trace.num_cores * elapsed)
+        rows.append(
+            f"{i:>4} {cycle:>10} {_fmt_cores((p[i] for p in par), '{:.2f}'):>17} "
+            f"{''.join(str(int(c[i])) for c in crit):>5} "
+            f"{sum(s[i] for s in sent):>6} {sum(u[i] for u in used):>6} "
+            f"{int(drops[i]):>5} "
+            f"{f'{int(row_h[i])}/{int(row_c[i])}/{int(row_x[i])}':>17} "
+            f"{100 * bus[i]:>5.1f} "
+            f"{f'{buf_mean[i]:.1f}/{int(buf_max[i])}':>12} "
+            f"{stall_pct:>7.1f}"
+        )
+    rows.append(
+        "columns: par per core; crit = criticality bit per core; "
+        "row h/c/x = hits/closed/conflicts; stall% = mean core stall share"
+    )
+    return "\n".join(rows)
+
+
+def phase_summary(trace: SimTrace) -> List[str]:
+    """Narrative phase events, one per line (empty trace → explanatory line)."""
+    n = trace.num_intervals
+    if n == 0:
+        return ["no intervals sampled; nothing to summarize"]
+    lines: List[str] = []
+    threshold_pct = round(100 * trace.promotion_threshold)
+    crit = trace.core("prefetch_critical")
+    drops = trace.system("drops")
+
+    # Promotion-threshold crossings (APS criticality flips), per core.
+    down_crossings: List[tuple] = []
+    for core_id in range(trace.num_cores):
+        series = crit[core_id]
+        for i in range(1, n):
+            if series[i] == series[i - 1]:
+                continue
+            direction = "above" if series[i] else "below"
+            lines.append(
+                f"core {core_id} crossed {direction} the {threshold_pct}% "
+                f"accuracy threshold at interval {i} "
+                f"(cycle {trace.intervals[i]})"
+            )
+            if not series[i]:
+                down_crossings.append((i, core_id))
+    if not any(len(set(series)) > 1 for series in crit):
+        if all(s[0] for s in crit):
+            state = "above the threshold"
+        elif not any(s[0] for s in crit):
+            state = "below the threshold"
+        else:
+            state = "on its starting side"
+        lines.append(
+            f"no {threshold_pct}% threshold crossings; every core stayed "
+            f"{state} throughout"
+        )
+
+    # APD drop spikes, attributed to a preceding downward crossing when
+    # one happened within the causal window.
+    if any(d > 0 for d in drops):
+        mean = sum(drops) / len(drops)
+        spike_floor = max(_SPIKE_MIN_DROPS, _SPIKE_FACTOR * mean)
+        for i, count in enumerate(drops):
+            if count < spike_floor:
+                continue
+            causes = [
+                (i - at, core_id)
+                for at, core_id in down_crossings
+                if 0 <= i - at <= _CAUSE_WINDOW
+            ]
+            if causes:
+                lag, core_id = min(causes)
+                suffix = (
+                    f" — {int(count)} drops, {lag} interval(s) after core "
+                    f"{core_id} fell below the threshold"
+                )
+            else:
+                suffix = f" ({int(count)} drops)"
+            lines.append(f"drops spiked at interval {i}{suffix}")
+    elif any(t > 0 for core in trace.core("pf_sent") for t in core):
+        lines.append("no prefetches were dropped")
+
+    # Peak queueing pressure.
+    buf_max = trace.system("buffer_occupancy_max")
+    peak = max(buf_max)
+    if peak > 0:
+        at = buf_max.index(peak)
+        lines.append(
+            f"request-buffer pressure peaked at interval {at} "
+            f"(high-water {int(peak)} entries, "
+            f"mean {trace.system('buffer_occupancy_mean')[at]:.1f})"
+        )
+    bus = trace.system("bus_utilization")
+    busiest = max(bus)
+    if busiest > 0:
+        lines.append(
+            f"data-bus utilization peaked at {100 * busiest:.1f}% "
+            f"(interval {bus.index(busiest)})"
+        )
+
+    # FDP movement (level -1 means no FDP attached).
+    fdp = trace.core("fdp_level")
+    for core_id in range(trace.num_cores):
+        series = fdp[core_id]
+        if series[0] < 0:
+            continue
+        moves = sum(1 for a, b in zip(series, series[1:]) if a != b)
+        if moves:
+            lines.append(
+                f"core {core_id} FDP moved {moves} time(s): level "
+                f"{int(series[0])} -> {int(series[-1])}"
+            )
+    return lines

@@ -1,0 +1,127 @@
+"""The public repro.api facade and its contracts."""
+
+import pytest
+
+import repro
+from repro import api
+from repro.campaign import CampaignSpec, PolicyVariant, SpecError, Workload
+from repro.params import PolicyError, baseline_config, resolve_policy
+from repro.runtime import Runtime, SimJob
+from repro.sim.system import System
+from repro.sim.system import simulate as sim_simulate
+from tests.conftest import tiny_system_config
+
+
+def test_api_is_reexported_from_package_root():
+    assert repro.api is api
+    assert repro.simulate is api.simulate
+
+
+def test_simulate_knobs_are_keyword_only():
+    config = tiny_system_config()
+    with pytest.raises(TypeError):
+        api.simulate(config, ["swim"], 500, 1)  # positional seed
+    with pytest.raises(TypeError):
+        sim_simulate(config, ["swim"], 500, 1)
+
+
+def test_api_simulate_matches_direct_simulate():
+    config = tiny_system_config(num_cores=2)
+    via_api = api.simulate(config, ["swim", "art"], 1_000, seed=7)
+    direct = sim_simulate(config, ["swim", "art"], 1_000, seed=7)
+    assert via_api == direct
+
+
+def test_system_run_refuses_double_invocation():
+    system = System(tiny_system_config(), ["swim"])
+    system.run(300)
+    with pytest.raises(RuntimeError, match="repro.api.simulate"):
+        system.run(300)
+
+
+def test_submit_serves_second_call_from_cache(tmp_path):
+    runtime = Runtime(cache_dir=tmp_path)
+    config = tiny_system_config()
+    first = api.submit(config, ["swim"], 600, runtime=runtime)
+    # A fresh runtime over the same directory must hit the disk cache.
+    second = api.submit(config, ["swim"], 600, runtime=Runtime(cache_dir=tmp_path))
+    assert first == second
+    assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+def test_submit_prunes_default_knobs_from_cache_key():
+    config = tiny_system_config()
+    spelled = api._make_job(
+        config, ["swim"], 600, 0, telemetry=None, max_cycles=None,
+        collect_service_times=False,
+    )
+    bare = api._make_job(config, ["swim"], 600, 0)
+    assert spelled.key() == bare.key()
+    # check=False is NOT pruned: it overrides $REPRO_CHECK=1.
+    assert api._make_job(config, ["swim"], 600, 0, check=False).key() != bare.key()
+    # A collector instance degrades to the plain flag.
+    from repro.telemetry import TelemetryCollector
+
+    flagged = api._make_job(config, ["swim"], 600, 0, telemetry=True)
+    instanced = api._make_job(
+        config, ["swim"], 600, 0, telemetry=TelemetryCollector()
+    )
+    assert flagged.key() == instanced.key()
+
+
+def test_submit_many_accepts_pairs_and_jobs():
+    config = tiny_system_config()
+    job = SimJob.make(config, ["art"], 500, seed=5)
+    results = api.submit_many([(config, ["swim"]), job], 500)
+    assert len(results) == 2
+    assert results[1] == api.simulate(config, ["art"], 500, seed=5)
+
+
+def test_api_campaign_runs_a_spec_dict(tmp_path):
+    spec = {
+        "name": "api-campaign",
+        "workloads": [{"benchmarks": ["swim"], "seed": 0}],
+        "policies": [{"label": "padc", "policy": "padc"}],
+        "accesses": 400,
+        "include_alone": False,
+    }
+    run = api.campaign(spec, directory=tmp_path / "campaign")
+    assert run.campaign.spec.name == "api-campaign"
+    result = run.grid(0, "padc")
+    assert result.total_cycles > 0
+
+
+def test_api_campaign_rejects_unknown_preset():
+    with pytest.raises(KeyError, match="unknown campaign preset"):
+        api.campaign("no-such-preset")
+
+
+# -- the shared policy table (with_policy / campaign parity) -------------------
+
+
+def test_with_policy_resolves_table_aliases():
+    base = baseline_config(2, policy="demand-first")
+    ranked = base.with_policy("padc-rank")
+    assert ranked.policy == "padc"
+    assert ranked.padc.use_ranking is True
+    plain = base.with_policy("padc")
+    assert plain.padc.use_ranking is False
+
+
+def test_unknown_policy_same_error_everywhere():
+    with pytest.raises(PolicyError) as direct:
+        resolve_policy("pdac")
+    with pytest.raises(PolicyError) as via_config:
+        baseline_config(1).with_policy("pdac")
+    assert str(direct.value) == str(via_config.value)
+    assert "did you mean" in str(direct.value)
+
+    with pytest.raises(SpecError) as via_spec:
+        CampaignSpec(
+            name="bad",
+            workloads=(Workload(benchmarks=("swim",)),),
+            policies=(PolicyVariant(label="p", policy="padc"),),
+            accesses=100,
+            alone_policy="pdac",
+        )
+    assert str(direct.value) in str(via_spec.value)

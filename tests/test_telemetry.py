@@ -1,0 +1,345 @@
+"""Interval telemetry: equivalence, golden trace, serialization, export."""
+
+import json
+
+import pytest
+
+from tests.conftest import tiny_system_config
+from repro import api
+from repro.campaign import CampaignSpec, PolicyVariant, Workload, submit
+from repro.campaign.report import EXPORT_COLUMNS, export_rows, render_csv
+from repro.runtime import get_runtime
+from repro.sim.results import RESULT_SCHEMA_VERSION, CoreResult, SimResult
+from repro.telemetry import (
+    CORE_SERIES,
+    SYSTEM_SERIES,
+    NoopCollector,
+    SimTrace,
+    TelemetryCollector,
+    TraceSchemaError,
+    as_collector,
+    phase_summary,
+    render_report,
+)
+from repro.telemetry.__main__ import main as telemetry_main
+
+
+def _traced_run(num_cores=2, accesses=2_500, **kwargs):
+    benchmarks = ["swim", "art"][:num_cores]
+    config = tiny_system_config(num_cores=num_cores)
+    return api.simulate(
+        config, benchmarks, accesses, seed=3, telemetry=True, **kwargs
+    )
+
+
+# -- telemetry-off equivalence -------------------------------------------------
+
+
+def test_telemetry_off_is_equivalent_to_pre_telemetry_run():
+    """Tracing must not perturb the simulation: aggregates are identical."""
+    config = tiny_system_config(num_cores=2)
+    off = api.simulate(config, ["swim", "art"], 2_500, seed=3)
+    on = _traced_run()
+    assert off.trace is None
+    assert on.trace is not None
+    off_dict, on_dict = off.to_dict(), on.to_dict()
+    off_dict.pop("trace")
+    on_dict.pop("trace")
+    assert off_dict == on_dict
+
+
+def test_noop_collector_is_default_and_shared():
+    assert as_collector(None) is as_collector(False)
+    assert not as_collector(None).enabled
+    assert as_collector(True).enabled
+    collector = TelemetryCollector()
+    assert as_collector(collector) is collector
+    with pytest.raises(TypeError, match="telemetry"):
+        as_collector("yes")
+
+
+def test_collector_refuses_reuse():
+    _ = _traced_run()
+    collector = TelemetryCollector()
+    config = tiny_system_config(num_cores=1)
+    api.simulate(config, ["swim"], 400, telemetry=collector)
+    with pytest.raises(RuntimeError, match="one run"):
+        api.simulate(config, ["swim"], 400, telemetry=collector)
+
+
+# -- golden trace --------------------------------------------------------------
+
+
+def test_golden_trace_two_core_quick_run():
+    """The trace's series agree with the result's own aggregates."""
+    result = _traced_run()
+    trace = result.trace.validate()
+
+    # Interval layout: 5_000-cycle boundaries plus one partial tail.
+    assert trace.interval_cycles == 5_000
+    assert trace.num_cores == 2
+    assert trace.num_intervals >= 2
+    assert trace.intervals == sorted(trace.intervals)
+    full_boundaries = [c for c in trace.intervals if c % 5_000 == 0]
+    assert len(full_boundaries) >= trace.num_intervals - 1
+
+    # PAR series: every full-boundary sample mirrors accuracy_history.
+    for core_id in range(2):
+        history = result.accuracy_history[core_id]
+        par = trace.core("par")[core_id]
+        assert len(par) >= len(history)
+        for sampled, recorded in zip(par, history):
+            assert sampled == pytest.approx(recorded, abs=1e-6)
+
+    # Conservation: per-interval deltas sum to the lifetime counters.
+    for name, total in (
+        ("pf_sent", sum(core.pf_sent for core in result.cores)),
+        ("pf_used", sum(core.pf_used for core in result.cores)),
+        ("pf_dropped", sum(core.pf_dropped for core in result.cores)),
+    ):
+        assert sum(sum(series) for series in trace.core(name)) == total
+    assert sum(trace.system("drops")) == result.dropped_prefetches
+    assert sum(trace.system("demand_overflows")) == result.demand_overflows
+    row_total = (
+        sum(trace.system("row_hits"))
+        + sum(trace.system("row_closed"))
+        + sum(trace.system("row_conflicts"))
+    )
+    assert row_total > 0
+    hit_rate = sum(trace.system("row_hits")) / row_total
+    assert hit_rate == pytest.approx(result.row_buffer_hit_rate, abs=1e-9)
+
+    # Utilizations and occupancies stay in their sane ranges.
+    assert all(0.0 <= value <= 1.0 for value in trace.system("bus_utilization"))
+    assert all(0.0 <= value <= 1.0 for value in trace.system("bank_utilization"))
+    buffer_cap = 16  # tiny_system_config's request_buffer_size
+    assert all(
+        0 <= value <= buffer_cap for value in trace.system("buffer_occupancy_max")
+    )
+    assert max(trace.system("buffer_occupancy_max")) > 0
+
+
+def test_trace_determinism():
+    assert _traced_run().to_dict() == _traced_run().to_dict()
+
+
+def test_traced_run_under_checked_mode():
+    result = _traced_run(check=True)  # explicit, not just conftest's env
+    assert result.trace.num_intervals >= 1
+
+
+# -- schema and serialization --------------------------------------------------
+
+
+def test_simresult_roundtrip_with_trace():
+    result = _traced_run()
+    payload = json.loads(json.dumps(result.to_dict()))
+    restored = SimResult.from_dict(payload)
+    assert restored == result
+    assert restored.schema_version == RESULT_SCHEMA_VERSION
+    assert all(
+        core.schema_version == RESULT_SCHEMA_VERSION for core in restored.cores
+    )
+    assert isinstance(restored.trace, SimTrace)
+
+
+def test_simresult_roundtrip_without_trace():
+    config = tiny_system_config(num_cores=1)
+    result = api.simulate(config, ["swim"], 500)
+    restored = SimResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert restored == result
+    assert restored.trace is None
+
+
+def test_trace_validate_rejects_ragged_and_unknown():
+    trace = _traced_run().trace
+    trace.core_series["par"][0].append(0.5)
+    with pytest.raises(TraceSchemaError, match="par"):
+        trace.validate()
+
+    good = _traced_run().trace
+    del good.core_series["par"]
+    with pytest.raises(TraceSchemaError, match="core series mismatch"):
+        good.validate()
+
+    with pytest.raises(TraceSchemaError, match="unknown core series"):
+        _traced_run().trace.core("nope")
+    with pytest.raises(TraceSchemaError, match="malformed"):
+        SimTrace.from_dict({"interval_cycles": 1})
+
+
+def test_trace_validate_rejects_future_schema():
+    trace = _traced_run().trace
+    trace.schema_version = 99
+    with pytest.raises(TraceSchemaError, match="schema_version 99"):
+        trace.validate()
+
+
+def test_trace_series_names_are_complete():
+    trace = _traced_run().trace
+    assert set(trace.core_series) == set(CORE_SERIES)
+    assert set(trace.system_series) == set(SYSTEM_SERIES)
+
+
+def test_result_store_roundtrips_trace():
+    runtime = get_runtime()
+    result = _traced_run()
+    runtime.store.put("telemetry-test", result)
+    restored = runtime.store.get("telemetry-test")
+    assert restored == result
+    assert restored.trace is not None
+
+
+def test_submit_caches_traced_results():
+    config = tiny_system_config(num_cores=1)
+    first = api.submit(config, ["swim"], 500, telemetry=True)
+    second = api.submit(config, ["swim"], 500, telemetry=True)
+    assert first.trace is not None
+    assert first == second
+    # The untraced variant is a different job entirely.
+    untraced = api.submit(config, ["swim"], 500)
+    assert untraced.trace is None
+
+
+# -- report rendering ----------------------------------------------------------
+
+
+def test_render_report_and_phase_summary():
+    trace = _traced_run().trace
+    report = render_report(trace)
+    assert "telemetry:" in report
+    assert str(trace.intervals[-1]) in report
+    summary = phase_summary(trace)
+    assert summary
+    assert any("threshold" in line for line in summary)
+
+
+def test_render_report_handles_empty_trace():
+    empty = SimTrace(
+        interval_cycles=100,
+        num_cores=1,
+        core_series={name: [[]] for name in CORE_SERIES},
+        system_series={name: [] for name in SYSTEM_SERIES},
+    ).validate()
+    assert "no intervals" in render_report(empty)
+    assert phase_summary(empty) == ["no intervals sampled; nothing to summarize"]
+
+
+def test_phase_summary_attributes_drop_spike_to_crossing():
+    trace = SimTrace(
+        interval_cycles=100,
+        num_cores=1,
+        promotion_threshold=0.85,
+        intervals=[100, 200, 300, 400],
+        core_series={name: [[0] * 4] for name in CORE_SERIES},
+        system_series={name: [0] * 4 for name in SYSTEM_SERIES},
+    )
+    trace.core_series["prefetch_critical"] = [[1, 0, 0, 0]]
+    trace.system_series["drops"] = [0, 0, 0, 12]
+    lines = phase_summary(trace.validate())
+    assert any("crossed below" in line and "interval 1" in line for line in lines)
+    assert any(
+        "spiked at interval 3" in line and "2 interval(s) after core 0" in line
+        for line in lines
+    )
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def test_telemetry_cli_run_and_report(tmp_path, capsys):
+    output = tmp_path / "result.json"
+    aggregates = tmp_path / "agg.json"
+    code = telemetry_main(
+        [
+            "run",
+            "--benchmarks",
+            "swim,art",
+            "--policy",
+            "padc",
+            "--accesses",
+            "1500",
+            "--interval",
+            "5000",
+            "--output",
+            str(output),
+            "--aggregates",
+            str(aggregates),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "phase summary:" in out
+    assert "trace" not in json.loads(aggregates.read_text())
+
+    assert telemetry_main(["report", str(output)]) == 0
+    assert "phase summary:" in capsys.readouterr().out
+
+
+def test_telemetry_cli_report_rejects_untraced(tmp_path, capsys):
+    config = tiny_system_config(num_cores=1)
+    result = api.simulate(config, ["swim"], 400)
+    path = tmp_path / "untraced.json"
+    path.write_text(json.dumps(result.to_dict()))
+    assert telemetry_main(["report", str(path)]) == 2
+    assert "no telemetry trace" in capsys.readouterr().err
+
+
+def test_telemetry_cli_reads_store_envelope(tmp_path, capsys):
+    result = _traced_run()
+    path = tmp_path / "entry.json"
+    path.write_text(json.dumps({"key": "k", "version": 3, "result": result.to_dict()}))
+    assert telemetry_main(["report", str(path), "--summary-only"]) == 0
+
+
+# -- campaign export -----------------------------------------------------------
+
+
+def _tiny_traced_spec():
+    return CampaignSpec(
+        name="telemetry-export",
+        workloads=(Workload(benchmarks=("swim", "art")),),
+        policies=(PolicyVariant(label="padc", policy="padc"),),
+        accesses=800,
+        include_alone=False,
+        sim_kwargs=(("telemetry", True),),
+    )
+
+
+def test_campaign_export_carries_telemetry_series(tmp_path, capsys):
+    run = submit(_tiny_traced_spec(), directory=tmp_path / "campaign")
+    store = get_runtime().store
+    rows = export_rows(run.campaign, store)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["status"] == "done"
+    assert row["telemetry_intervals"]
+    intervals = row["telemetry_intervals"].split("|")
+    assert row["telemetry_par"].count("|") == len(intervals) - 1
+    assert all("/" in cell for cell in row["telemetry_par"].split("|"))
+    assert row["telemetry_row_hits"]
+    assert row["telemetry_drops"]
+    assert row["telemetry_buffer_occupancy"]
+    # CSV stays deterministic: same ledger + store, same bytes.
+    assert render_csv(rows) == render_csv(export_rows(run.campaign, store))
+    header = render_csv(rows).splitlines()[0]
+    assert header == ",".join(EXPORT_COLUMNS)
+
+    # The telemetry campaign CLI renders summaries for traced results.
+    code = telemetry_main(["campaign", str(tmp_path / "campaign")])
+    assert code == 0
+    assert "1 traced result(s)" in capsys.readouterr().out
+
+
+def test_campaign_export_untraced_leaves_columns_empty(tmp_path):
+    spec = CampaignSpec(
+        name="telemetry-off-export",
+        workloads=(Workload(benchmarks=("swim",)),),
+        policies=(PolicyVariant(label="padc", policy="padc"),),
+        accesses=500,
+        include_alone=False,
+    )
+    run = submit(spec, directory=tmp_path / "campaign")
+    (row,) = export_rows(run.campaign, get_runtime().store)
+    assert row["telemetry_intervals"] == ""
+    assert row["telemetry_par"] == ""
