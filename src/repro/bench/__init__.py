@@ -1,0 +1,425 @@
+"""Performance benchmark harness for the scheduling hot path (DESIGN.md §10).
+
+Two benchmark tiers, both deterministic and cache-free (results come from
+freshly built :class:`~repro.sim.system.System` instances — the disk-backed
+experiment cache is never consulted, so numbers always reflect the code as
+it is now):
+
+* **tick-loop microbench** — drives ``DRAMControllerEngine.tick`` directly
+  on a pre-filled request buffer, with no core/cache/event-loop machinery
+  around it.  Isolates the scheduler itself.
+* **campaign-preset macrobench** — the ``padc`` 4-core multiprogrammed mix
+  used by the campaign presets, run end-to-end through ``System.run`` with
+  the engine's tick entry point wrapped in a timing accumulator.  Reports
+  both end-to-end throughput (simulated DRAM cycles per wall-clock second)
+  and *tick-loop throughput* (simulated cycles per second spent inside
+  ``engine.tick`` — the acceptance metric for the hot-path optimization).
+
+Every run can execute against both scheduler implementations (the
+optimized incremental path and the naive reference path); their
+``SimResult.to_dict()`` outputs are asserted identical by
+:func:`verify_equivalence` before any numbers are reported, so a bench
+report is also an equivalence certificate.
+
+The report is a schema-versioned JSON document (``BENCH_5.json``).  The
+regression check compares the optimized/reference *speedup ratios* — a
+machine-independent quantity — against the committed baseline, flagging
+any policy whose tick-loop speedup fell by more than the threshold
+(default 25%).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.params import SystemConfig, baseline_config
+from repro.sim.system import System
+
+SCHEMA_VERSION = 1
+BENCH_NAME = "BENCH_5"
+DEFAULT_REPORT = "BENCH_5.json"
+
+# The campaign-preset macrobench: the padc 4-core multiprogrammed mix.
+MACRO_MIX: Tuple[str, ...] = ("mcf_06", "libquantum_06", "lucas_00", "hmmer_06")
+MACRO_SEED = 7
+
+# Policies benchmarked (and verified) by default — the golden-equivalence
+# matrix of DESIGN.md §10.
+DEFAULT_POLICIES: Tuple[str, ...] = (
+    "fcfs",
+    "frfcfs",
+    "demand-first",
+    "demand-first-apd",
+    "padc",
+    "padc-rank",
+)
+
+# Workload mixes for the equivalence sweep (the macrobench mix plus a
+# second mix with different stream/locality character).
+VERIFY_MIXES: Tuple[Tuple[str, ...], ...] = (
+    MACRO_MIX,
+    ("swim_00", "galgel_00", "art_00", "ammp_00"),
+)
+VERIFY_SEEDS: Tuple[int, ...] = (7, 11)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Benchmark sizing: accesses per core (macro) and requests (micro)."""
+
+    name: str
+    macro_accesses: int
+    micro_requests: int
+    verify_accesses: int
+
+
+SCALES: Dict[str, Scale] = {
+    scale.name: scale
+    for scale in (
+        Scale("tiny", macro_accesses=1_500, micro_requests=2_000, verify_accesses=800),
+        Scale("quick", macro_accesses=5_000, micro_requests=8_000, verify_accesses=1_500),
+        Scale("medium", macro_accesses=20_000, micro_requests=30_000, verify_accesses=3_000),
+        Scale("paper", macro_accesses=50_000, micro_requests=100_000, verify_accesses=5_000),
+    )
+}
+
+
+def _macro_config(policy: str) -> SystemConfig:
+    return baseline_config(num_cores=len(MACRO_MIX), policy=policy)
+
+
+class _TickTimer:
+    """Wraps ``engine.tick``, accumulating wall time spent inside it.
+
+    Installed as an instance attribute on the engine (shadowing the bound
+    method), so every call site — including the run loop's hoisted local —
+    goes through it.  The overhead (two ``perf_counter`` calls per tick)
+    is identical for both scheduler implementations, so speedup ratios
+    are unaffected.
+    """
+
+    __slots__ = ("_inner", "elapsed", "calls")
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.elapsed = 0.0
+        self.calls = 0
+
+    def __call__(self, channel_id: int, now: int):
+        start = perf_counter()
+        result = self._inner(channel_id, now)
+        self.elapsed += perf_counter() - start
+        self.calls += 1
+        return result
+
+
+# -- macrobench ------------------------------------------------------------
+
+
+def run_macro(
+    policy: str,
+    scale: str,
+    scheduler: str = "optimized",
+    *,
+    seed: int = MACRO_SEED,
+) -> Dict[str, object]:
+    """Run the campaign-preset macrobench once; return its measurements.
+
+    ``tick_loop_s`` is the wall time spent inside ``engine.tick`` (the
+    scheduling hot path); ``cycles_per_sec`` and ``tick_cycles_per_sec``
+    divide the simulated cycle count by end-to-end and tick-loop wall
+    time respectively.
+    """
+    sizing = SCALES[scale]
+    system = System(
+        _macro_config(policy), list(MACRO_MIX), seed=seed, scheduler=scheduler
+    )
+    timer = _TickTimer(system.engine.tick)
+    system.engine.tick = timer  # instance attr shadows the bound method
+    start = perf_counter()
+    result = system.run(sizing.macro_accesses)
+    wall = perf_counter() - start
+    cycles = result.total_cycles
+    return {
+        "scheduler": scheduler,
+        "accesses_per_core": sizing.macro_accesses,
+        "cycles": cycles,
+        "wall_s": round(wall, 6),
+        "cycles_per_sec": round(cycles / wall, 1) if wall else None,
+        "tick_loop_s": round(timer.elapsed, 6),
+        "tick_calls": timer.calls,
+        "tick_cycles_per_sec": (
+            round(cycles / timer.elapsed, 1) if timer.elapsed else None
+        ),
+    }
+
+
+def bench_macro_policy(policy: str, scale: str, repeats: int = 1) -> Dict[str, object]:
+    """Macrobench one policy on both schedulers; best-of-``repeats``.
+
+    Both variants are interleaved within each repeat round so transient
+    machine load hits them symmetrically.
+    """
+    best: Dict[str, Dict[str, object]] = {}
+    for _ in range(max(1, repeats)):
+        for scheduler in ("optimized", "reference"):
+            sample = run_macro(policy, scale, scheduler)
+            incumbent = best.get(scheduler)
+            if incumbent is None or sample["wall_s"] < incumbent["wall_s"]:
+                best[scheduler] = sample
+    opt, ref = best["optimized"], best["reference"]
+    return {
+        "optimized": opt,
+        "reference": ref,
+        "speedup_end_to_end": round(
+            opt["cycles_per_sec"] / ref["cycles_per_sec"], 3
+        ),
+        "speedup_tick_loop": round(
+            opt["tick_cycles_per_sec"] / ref["tick_cycles_per_sec"], 3
+        ),
+    }
+
+
+# -- tick-loop microbench --------------------------------------------------
+
+
+def run_micro(
+    policy: str,
+    scale: str,
+    scheduler: str = "optimized",
+    *,
+    seed: int = 3,
+) -> Dict[str, object]:
+    """Drive ``engine.tick`` directly on a synthetic request population.
+
+    A fresh engine (built with the macrobench's config so the policy,
+    tracker and dropper wiring match production) is loaded with
+    ``micro_requests`` pseudo-random requests — mixed demand/prefetch,
+    spread across cores, banks and rows — and then ticked to exhaustion.
+    Only the tick loop is timed; request construction and admission are
+    excluded (overflow draining, which happens inside ``tick``, is part
+    of the measured path by design — it is part of every real round).
+    """
+    sizing = SCALES[scale]
+    system = System(
+        _macro_config(policy), list(MACRO_MIX), seed=seed, scheduler=scheduler
+    )
+    engine = system.engine
+    rng = random.Random(seed)
+    num_cores = len(MACRO_MIX)
+    for arrival in range(sizing.micro_requests):
+        request = engine.build_request(
+            line_addr=rng.randrange(1 << 26),
+            core_id=rng.randrange(num_cores),
+            is_prefetch=rng.random() < 0.5,
+            now=arrival,
+        )
+        engine.enqueue_demand(request)  # overflow FIFO absorbs the excess
+    admitted = engine.stats.enqueued_total
+    num_channels = engine.config.num_channels
+    stats = engine.stats
+    tick = engine.tick
+    now = 0
+    ticks = 0
+    start = perf_counter()
+    while stats.serviced_total + stats.dropped_prefetches < admitted:
+        next_now = None
+        for channel_id in range(num_channels):
+            _, wake = tick(channel_id, now)
+            ticks += 1
+            if wake is not None and (next_now is None or wake < next_now):
+                next_now = wake
+        now = next_now if next_now is not None and next_now > now else now + 1
+    elapsed = perf_counter() - start
+    return {
+        "scheduler": scheduler,
+        "requests": admitted,
+        "cycles": now,
+        "ticks": ticks,
+        "wall_s": round(elapsed, 6),
+        "cycles_per_sec": round(now / elapsed, 1) if elapsed else None,
+        "requests_per_sec": round(admitted / elapsed, 1) if elapsed else None,
+    }
+
+
+def bench_micro_policy(policy: str, scale: str, repeats: int = 1) -> Dict[str, object]:
+    """Microbench one policy on both schedulers; best-of-``repeats``."""
+    best: Dict[str, Dict[str, object]] = {}
+    for _ in range(max(1, repeats)):
+        for scheduler in ("optimized", "reference"):
+            sample = run_micro(policy, scale, scheduler)
+            incumbent = best.get(scheduler)
+            if incumbent is None or sample["wall_s"] < incumbent["wall_s"]:
+                best[scheduler] = sample
+    opt, ref = best["optimized"], best["reference"]
+    return {
+        "optimized": opt,
+        "reference": ref,
+        "speedup": round(opt["requests_per_sec"] / ref["requests_per_sec"], 3),
+    }
+
+
+# -- equivalence -----------------------------------------------------------
+
+
+def verify_equivalence(
+    policies: Sequence[str],
+    scale: str,
+    *,
+    mixes: Sequence[Sequence[str]] = VERIFY_MIXES,
+    seeds: Sequence[int] = VERIFY_SEEDS,
+) -> Dict[str, object]:
+    """Optimized vs reference differential over policies × mixes × seeds.
+
+    Returns ``{"cases": N, "mismatches": [case descriptions]}``; an empty
+    mismatch list certifies byte-identical ``SimResult.to_dict()`` for
+    every case.
+    """
+    accesses = SCALES[scale].verify_accesses
+    mismatches: List[str] = []
+    cases = 0
+    for policy in policies:
+        for mix in mixes:
+            for seed in seeds:
+                cases += 1
+                config = baseline_config(num_cores=len(mix), policy=policy)
+                outputs = []
+                for scheduler in ("optimized", "reference"):
+                    system = System(
+                        config, list(mix), seed=seed, scheduler=scheduler
+                    )
+                    outputs.append(system.run(accesses).to_dict())
+                if outputs[0] != outputs[1]:
+                    mismatches.append(
+                        f"policy={policy} mix={','.join(mix)} seed={seed}"
+                    )
+    return {"cases": cases, "mismatches": mismatches}
+
+
+# -- report + regression ---------------------------------------------------
+
+
+def build_report(
+    scale: str,
+    policies: Sequence[str],
+    *,
+    repeats: int = 1,
+    verify: bool = True,
+    run_micro_bench: bool = True,
+    progress=None,
+) -> Dict[str, object]:
+    """Run the full bench matrix and assemble the report document."""
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    report: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": BENCH_NAME,
+        "scale": scale,
+        "macro": {
+            "mix": list(MACRO_MIX),
+            "seed": MACRO_SEED,
+            "accesses_per_core": SCALES[scale].macro_accesses,
+            "policies": {},
+        },
+        "micro": {"requests": SCALES[scale].micro_requests, "policies": {}},
+    }
+    if verify:
+        note("verifying optimized == reference over the policy matrix ...")
+        report["equivalence"] = verify_equivalence(policies, scale)
+    for policy in policies:
+        note(f"macrobench {policy} ...")
+        report["macro"]["policies"][policy] = bench_macro_policy(
+            policy, scale, repeats
+        )
+        if run_micro_bench:
+            note(f"microbench {policy} ...")
+            report["micro"]["policies"][policy] = bench_micro_policy(
+                policy, scale, repeats
+            )
+    return report
+
+
+def baseline_speedups(
+    baseline: Dict[str, object], scale: str
+) -> Optional[Dict[str, float]]:
+    """Extract the baseline's tick-loop speedups comparable at ``scale``.
+
+    Speedup ratios vary systematically with benchmark sizing (short runs
+    amortize fewer rebuilds), so only same-scale numbers are comparable:
+    the baseline's own macro section when its scale matches, else its
+    ``speedups_by_scale`` side-table (recorded via ``--also-scales`` when
+    the baseline was generated).  ``None`` when no comparable data exists.
+    """
+    if baseline.get("scale") == scale:
+        policies = baseline.get("macro", {}).get("policies", {})
+        return {
+            policy: entry["speedup_tick_loop"]
+            for policy, entry in policies.items()
+            if entry.get("speedup_tick_loop")
+        }
+    per_scale = baseline.get("speedups_by_scale", {}).get(scale)
+    if per_scale:
+        return dict(per_scale)
+    return None
+
+
+def check_regression(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = 0.25,
+) -> List[str]:
+    """Compare speedup ratios against a baseline report.
+
+    The optimized/reference speedup is measured within one process on one
+    machine, so it transfers across machines (unlike absolute cycles/sec).
+    A policy regresses when its tick-loop speedup drops more than
+    ``threshold`` (fractional) below the baseline's recorded value at the
+    same scale.  Returns a list of human-readable failures (empty = pass).
+    """
+    failures: List[str] = []
+    if baseline.get("schema_version") != current.get("schema_version"):
+        return [
+            "baseline schema_version "
+            f"{baseline.get('schema_version')!r} != current "
+            f"{current.get('schema_version')!r}: regenerate the baseline"
+        ]
+    base_speedups = baseline_speedups(baseline, current.get("scale", ""))
+    if base_speedups is None:
+        return []  # no comparable baseline data at this scale
+    cur_policies = current.get("macro", {}).get("policies", {})
+    for policy, base_speedup in base_speedups.items():
+        cur_entry = cur_policies.get(policy)
+        if cur_entry is None:
+            continue  # not benchmarked this run
+        cur_speedup = cur_entry.get("speedup_tick_loop")
+        if not cur_speedup:
+            continue
+        floor = base_speedup * (1.0 - threshold)
+        if cur_speedup < floor:
+            failures.append(
+                f"{policy}: tick-loop speedup {cur_speedup:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base_speedup:.2f}x - {threshold:.0%})"
+            )
+    return failures
+
+
+def load_report(path: str) -> Optional[Dict[str, object]]:
+    """Read a bench report; None if the file is absent or unparseable."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def write_report(path: str, report: Dict[str, object]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,218 @@
+"""Benchmark CLI: ``python -m repro.bench``.
+
+Runs the tick-loop microbench and the campaign-preset macrobench over the
+policy matrix, verifies optimized == reference first, writes the
+schema-versioned ``BENCH_5.json`` report, and (when a committed baseline
+exists) fails on a >25% tick-loop-speedup regression.
+
+Examples::
+
+    python -m repro.bench --scale tiny            # CI smoke
+    python -m repro.bench --scale medium          # regenerate the baseline
+    python -m repro.bench --policies padc --profile
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import (
+    DEFAULT_POLICIES,
+    DEFAULT_REPORT,
+    SCALES,
+    baseline_speedups,
+    bench_macro_policy,
+    build_report,
+    check_regression,
+    load_report,
+    run_macro,
+    write_report,
+)
+
+
+def _profile_macro(policy: str, scale: str) -> None:
+    """Profile the optimized macrobench run for one policy.
+
+    Uses ``pyinstrument`` when it is importable, ``cProfile`` (stdlib)
+    otherwise — nothing is installed on demand.
+    """
+    try:
+        from pyinstrument import Profiler  # type: ignore
+    except ImportError:
+        Profiler = None
+    if Profiler is not None:
+        profiler = Profiler()
+        profiler.start()
+        run_macro(policy, scale, "optimized")
+        profiler.stop()
+        print(profiler.output_text(unicode=True, color=False))
+        return
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_macro(policy, scale, "optimized")
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("tottime").print_stats(25)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="quick",
+        help="benchmark sizing (default: quick)",
+    )
+    parser.add_argument(
+        "--policies",
+        default=",".join(DEFAULT_POLICIES),
+        help="comma-separated policy list (default: the golden matrix)",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_REPORT,
+        help=f"report path (default: {DEFAULT_REPORT})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_REPORT,
+        help="baseline report for the regression check (default: the "
+        "committed report; read before --out is written)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="best-of-N repeats per measurement (default: 1)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="regression threshold on tick-loop speedup (default: 0.25)",
+    )
+    parser.add_argument(
+        "--skip-verify",
+        action="store_true",
+        help="skip the optimized==reference equivalence sweep",
+    )
+    parser.add_argument(
+        "--skip-micro",
+        action="store_true",
+        help="skip the tick-loop microbench",
+    )
+    parser.add_argument(
+        "--no-regression-check",
+        action="store_true",
+        help="do not compare against the baseline report",
+    )
+    parser.add_argument(
+        "--also-scales",
+        default="",
+        help="comma-separated extra scales whose tick-loop speedups are "
+        "recorded into the report's speedups_by_scale side-table (makes "
+        "the report usable as a regression baseline at those scales)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the optimized padc macrobench (pyinstrument when "
+        "available, else cProfile) and exit",
+    )
+    args = parser.parse_args(argv)
+    policies = [p for p in args.policies.split(",") if p]
+
+    if args.profile:
+        _profile_macro(policies[0] if policies else "padc", args.scale)
+        return 0
+
+    # Read the baseline before (possibly) overwriting it via --out.
+    baseline = None if args.no_regression_check else load_report(args.baseline)
+
+    report = build_report(
+        args.scale,
+        policies,
+        repeats=args.repeats,
+        verify=not args.skip_verify,
+        run_micro_bench=not args.skip_micro,
+        progress=lambda message: print(f"[bench] {message}", flush=True),
+    )
+
+    exit_code = 0
+    equivalence = report.get("equivalence")
+    if equivalence is not None:
+        if equivalence["mismatches"]:
+            print(
+                f"[bench] EQUIVALENCE FAILURE ({len(equivalence['mismatches'])}"
+                f"/{equivalence['cases']} cases):",
+                file=sys.stderr,
+            )
+            for case in equivalence["mismatches"]:
+                print(f"[bench]   {case}", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(
+                f"[bench] equivalence: {equivalence['cases']} cases, "
+                "all byte-identical"
+            )
+
+    for policy, entry in report["macro"]["policies"].items():
+        print(
+            f"[bench] {policy:18s} end-to-end "
+            f"{entry['optimized']['cycles_per_sec']:>12,.0f} cyc/s "
+            f"({entry['speedup_end_to_end']:.2f}x vs reference) | "
+            f"tick-loop {entry['optimized']['tick_cycles_per_sec']:>12,.0f} "
+            f"cyc/s ({entry['speedup_tick_loop']:.2f}x)"
+        )
+
+    if baseline is not None:
+        failures = check_regression(report, baseline, args.threshold)
+        if failures:
+            print("[bench] REGRESSION vs baseline:", file=sys.stderr)
+            for failure in failures:
+                print(f"[bench]   {failure}", file=sys.stderr)
+            exit_code = 1
+        elif baseline_speedups(baseline, args.scale) is None:
+            print(
+                f"[bench] baseline {args.baseline} has no data at scale "
+                f"{args.scale!r}; regression check skipped"
+            )
+        else:
+            print(f"[bench] no regression vs {args.baseline}")
+    elif not args.no_regression_check:
+        print(f"[bench] no baseline at {args.baseline}; regression check skipped")
+
+    if args.also_scales:
+        side_table = {}
+        for extra_scale in args.also_scales.split(","):
+            extra_scale = extra_scale.strip()
+            if not extra_scale or extra_scale == args.scale:
+                continue
+            entries = {}
+            for policy in policies:
+                print(f"[bench] recording {extra_scale} speedup for {policy} ...")
+                entry = bench_macro_policy(policy, extra_scale, args.repeats)
+                entries[policy] = entry["speedup_tick_loop"]
+            side_table[extra_scale] = entries
+        if side_table:
+            report["speedups_by_scale"] = side_table
+
+    # Preserve a recorded pre-PR baseline section across regenerations.
+    previous = load_report(args.out)
+    if previous and "pre_pr_baseline" in previous and "pre_pr_baseline" not in report:
+        report["pre_pr_baseline"] = previous["pre_pr_baseline"]
+
+    write_report(args.out, report)
+    print(f"[bench] wrote {args.out}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

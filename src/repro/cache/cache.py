@@ -54,6 +54,13 @@ class EvictionInfo:
     dirty: bool = False
 
 
+# Shared singleton results for the two overwhelmingly common lookup
+# outcomes (the dataclass is frozen, so sharing is safe): a plain hit and
+# a miss allocate nothing.
+_PLAIN_HIT = LookupResult(hit=True)
+_MISS = LookupResult(hit=False)
+
+
 class L2Cache:
     """LRU set-associative cache tracking prefetch usefulness per line."""
 
@@ -80,11 +87,11 @@ class L2Cache:
         A write hit marks the line dirty; the dirty line generates a
         writeback to DRAM when it is eventually evicted.
         """
-        cache_set = self._set_for(line_addr)
+        cache_set = self._sets[line_addr % self.num_sets]
         line = cache_set.get(line_addr)
         if line is None:
             self.demand_misses += 1
-            return LookupResult(hit=False)
+            return _MISS
         cache_set.move_to_end(line_addr)
         self.demand_hits += 1
         if is_write:
@@ -99,11 +106,11 @@ class L2Cache:
                 prefetch_core=line.core_id,
                 prefetch_row_hit_fill=line.row_hit_fill,
             )
-        return LookupResult(hit=True)
+        return _PLAIN_HIT
 
     def touch_for_prefetcher(self, line_addr: int) -> bool:
         """Presence probe that does not disturb LRU or the P bit."""
-        return line_addr in self._set_for(line_addr)
+        return line_addr in self._sets[line_addr % self.num_sets]
 
     def fill(
         self,
@@ -114,7 +121,7 @@ class L2Cache:
         dirty: bool = False,
     ) -> Optional[EvictionInfo]:
         """Insert a line; returns eviction info when a victim is replaced."""
-        cache_set = self._set_for(line_addr)
+        cache_set = self._sets[line_addr % self.num_sets]
         if line_addr in cache_set:
             # Already present (e.g. a redundant fill); refresh LRU only.
             cache_set.move_to_end(line_addr)

@@ -44,6 +44,21 @@ class AdaptivePrefetchDropper:
         age_ticks = -(-(now - request.arrival) // self.age_granularity)
         return age_ticks > threshold // self.age_granularity
 
+    def drop_deadline(self, request: MemRequest) -> int:
+        """First cycle at which :meth:`should_drop` turns true for ``request``.
+
+        Solving the quantize-up comparison for ``now``: the request is
+        over-age once ``now - arrival`` strictly exceeds the threshold
+        rounded down to AGE-counter granularity.  The engine keeps the
+        minimum of these per bank so scheduling rounds before the earliest
+        deadline skip the drop scan entirely (DESIGN.md §10); the deadline
+        is recomputed from the live per-core thresholds, so it must be
+        re-derived after every accuracy interval.
+        """
+        threshold = self.tracker.drop_threshold[request.core_id]
+        gran = self.age_granularity
+        return request.arrival + (threshold // gran) * gran + 1
+
     def record_drop(self, request: MemRequest) -> None:
         request.dropped = True
         self.dropped_per_core[request.core_id] += 1

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
+from repro.controller.cost import FCFS_BITS, RANK_BIAS, RANK_BITS
 from repro.controller.policies import SchedulingPolicy
 from repro.controller.request import MemRequest
 
@@ -27,8 +28,12 @@ class BatchScheduler(SchedulingPolicy):
     """PAR-BS: marked-batch-first scheduling with SJF core ranking."""
 
     name = "parbs"
+    needs_begin_tick = True
+    # RH is flag bit 0, and the flags sit above the rank field.
+    hit_delta = (1 << RANK_BITS) << FCFS_BITS
 
     def __init__(self, num_cores: int, marking_cap: int = 5):
+        super().__init__()
         self.num_cores = num_cores
         self.marking_cap = marking_cap
         self._marked: Set[int] = set()
@@ -39,7 +44,7 @@ class BatchScheduler(SchedulingPolicy):
         """Re-form the batch when the previous one has fully drained."""
         outstanding = [request for queue in queues for request in queue]
         still_marked = [
-            request for request in outstanding if id(request) in self._marked
+            request for request in outstanding if request.seq in self._marked
         ]
         if still_marked:
             return
@@ -48,13 +53,19 @@ class BatchScheduler(SchedulingPolicy):
     def _form_batch(self, outstanding: List[MemRequest]) -> None:
         self._marked.clear()
         per_core_counts: Dict[int, int] = {}
-        # Mark up to marking_cap oldest demand requests per core.
-        for request in sorted(outstanding, key=lambda r: r.arrival):
+        # Mark up to marking_cap oldest demand requests per core, keyed by
+        # the admission sequence number.  (``id(request)`` is NOT a valid
+        # key: serviced requests' ids linger in the marked set until the
+        # next formation, and a new allocation reusing the address would
+        # nondeterministically test as marked.)  Sorting by (arrival, seq)
+        # pins the order at the marking-cap boundary even though swap-pop
+        # removal scrambles the physical queue order.
+        for request in sorted(outstanding, key=lambda r: (r.arrival, r.seq)):
             if request.is_prefetch:
                 continue
             count = per_core_counts.get(request.core_id, 0)
             if count < self.marking_cap:
-                self._marked.add(id(request))
+                self._marked.add(request.seq)
                 per_core_counts[request.core_id] = count + 1
         # Shortest job first: cores with fewer marked requests rank higher.
         self._rank = {
@@ -62,9 +73,11 @@ class BatchScheduler(SchedulingPolicy):
         }
         if self._marked:
             self.batches_formed += 1
+        # Marked-set membership feeds every priority key: drop all caches.
+        self.epoch += 1
 
     def priority(self, request: MemRequest, row_hit: bool) -> Tuple:
-        marked = id(request) in self._marked
+        marked = request.seq in self._marked
         rank = self._rank.get(request.core_id, -(10**9))
         return (
             marked,
@@ -72,4 +85,14 @@ class BatchScheduler(SchedulingPolicy):
             row_hit,
             rank,
             -request.arrival,
+            -request.seq,
         )
+
+    def priority_key(self, request: MemRequest, row_hit: bool) -> int:
+        marked = request.seq in self._marked
+        rank = self._rank.get(request.core_id)
+        # Unranked cores sit below every ranked one (tuple form: -(10**9));
+        # field 0 encodes that sentinel, real ranks bias upward from there.
+        field = 0 if rank is None else rank + RANK_BIAS
+        flags = (marked << 2) | ((not request.is_prefetch) << 1) | row_hit
+        return ((flags << RANK_BITS) | field) << FCFS_BITS | request.fcfs_key

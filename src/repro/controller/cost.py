@@ -20,6 +20,59 @@ import math
 from dataclasses import dataclass
 from typing import Dict
 
+# -- packed priority-key layout (DESIGN.md §10) ---------------------------
+#
+# The scheduler caches each request's priority as ONE integer instead of
+# re-building a comparison tuple every round, mirroring how the hardware
+# comparator tree of Figure 18 concatenates the C/RH/U/RANK/AGE fields
+# into a single priority word.  Every policy packs its flag bits above a
+# shared FCFS word so that integer comparison reproduces tuple comparison
+# exactly:
+#
+#     | policy flags (C, RH, U, RANK, ...) | 40-bit ~arrival | 28-bit ~seq |
+#
+# ``~x`` denotes the complement ``LIMIT - x`` — larger packed values win,
+# so older requests (smaller arrival/seq) must encode higher.  The
+# trailing sequence number is a tie-break the tuple path shares: it makes
+# every key unique, which is what licenses the engine's order-scrambling
+# swap-pop removal (selection no longer depends on queue order).
+#
+# Field widths are deliberately generous: 2**40 cycles is ~4.6 hours of
+# simulated time at the model's 4 GHz clock and 2**28 admissions is two
+# orders of magnitude above the largest campaign run to date.
+
+ARRIVAL_BITS = 40
+SEQ_BITS = 28
+FCFS_BITS = ARRIVAL_BITS + SEQ_BITS
+ARRIVAL_LIMIT = (1 << ARRIVAL_BITS) - 1
+SEQ_LIMIT = (1 << SEQ_BITS) - 1
+
+# Rank fields (APS Rule 2 / PAR-BS shortest-job-first) hold a negated
+# outstanding-request count, biased to keep the packed field non-negative.
+# Counts are bounded by the request buffer (<= 256 entries at 8 cores,
+# and nobody configures anywhere near 32k), far below the bias; field
+# value 0 is reserved as "below every real rank" (PAR-BS's unranked-core
+# sentinel).
+RANK_BITS = 16
+RANK_BIAS = 1 << (RANK_BITS - 1)
+
+
+def pack_fcfs(arrival: int, seq: int) -> int:
+    """The shared low word: oldest-first, admission order as tie-break."""
+    return ((ARRIVAL_LIMIT - arrival) << SEQ_BITS) | (SEQ_LIMIT - seq)
+
+
+def key_layout_summary() -> Dict[str, int]:
+    """Bit budget of the packed priority key (for docs and the bench CLI)."""
+    return {
+        "arrival_bits": ARRIVAL_BITS,
+        "seq_bits": SEQ_BITS,
+        "rank_bits": RANK_BITS,
+        "fcfs_bits": FCFS_BITS,
+        "max_flag_bits": 3 + RANK_BITS,  # parbs: M, D, RH + rank field
+        "total_bits_worst_case": FCFS_BITS + 3 + RANK_BITS,
+    }
+
 
 @dataclass(frozen=True)
 class StorageCost:

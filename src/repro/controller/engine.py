@@ -14,11 +14,35 @@ scheduling rounds:
   (modelling the back-pressure the paper describes in §6.1); prefetches
   that find it full are simply not sent — which is exactly the coverage
   loss the paper attributes to full request buffers.
+
+Two interchangeable scheduling implementations share all of the above
+(DESIGN.md §10):
+
+* the **optimized** path (default) caches *two* packed integer priority
+  keys per request — one for each row-buffer outcome — so a bank's open
+  row changing invalidates nothing; only the policy's key epoch (bumped
+  on interval boundaries and rank/batch changes) and promotion do.
+  Winners come from per-bank lazy max-heaps: a base heap ordered by the
+  row-miss key plus per-row buckets ordered by the row-hit key; the
+  bank's best request is the greater of the open-row bucket's top and
+  the base heap's top.  Stale entries are discarded lazily.  Winner
+  removal is an index-tracked swap-pop; the APD age scan is skipped
+  until the bank's earliest drop deadline; closed-row precharge queries
+  are answered from per-bank open-row refcounts;
+* the **reference** path re-derives every priority tuple from scratch
+  each round exactly like the original implementation.
+
+Both produce byte-identical simulation results — priorities are totally
+ordered (the admission sequence number breaks every tie), so winner
+selection does not depend on queue order or on how keys are represented.
+Select the reference path with ``DRAMControllerEngine(...,
+reference=True)`` or system-wide with ``$REPRO_SCHED=reference``.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from heapq import heapify, heappop, heappush
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.controller.apd import AdaptivePrefetchDropper
@@ -28,6 +52,10 @@ from repro.dram.address import AddressMapping
 from repro.dram.bank import RowBufferState
 from repro.dram.channel import Channel
 from repro.params import DRAMConfig
+
+# Sentinel for "no queued prefetch can ever go over-age": later than any
+# reachable simulation cycle.
+_NEVER = 1 << 62
 
 
 class ControllerStats:
@@ -71,12 +99,21 @@ class DRAMControllerEngine:
         policy: SchedulingPolicy,
         dropper: Optional[AdaptivePrefetchDropper] = None,
         on_drop: Optional[Callable[[MemRequest], None]] = None,
+        reference: bool = False,
     ):
         self.config = config
         self.policy = policy
         self.dropper = dropper
         self.on_drop = on_drop
+        self.reference = reference
         self.mapping = AddressMapping(config)
+        # Decode constants hoisted for the inlined decode in
+        # build_request (AddressMapping validates banks_per_channel).
+        self._dec_lines = config.lines_per_row
+        self._dec_channels = config.num_channels
+        self._dec_banks = config.banks_per_channel
+        self._dec_perm = config.permutation_interleaving
+        self._dec_bank_mask = config.banks_per_channel - 1
         self.channels: List[Channel] = [
             Channel(config, channel_id) for channel_id in range(config.num_channels)
         ]
@@ -93,6 +130,52 @@ class DRAMControllerEngine:
         # layer last sampled them (one compare per admission).
         self.peak_occupancy: List[int] = [0] * config.num_channels
         self.stats = ControllerStats()
+        # Admission sequence counter: the universal priority tie-break.
+        self._seq = 0
+        # Per-bank earliest cycle at which a queued prefetch may go
+        # over-age; ticks before it skip the APD scan.  0 forces a scan
+        # (and a deadline recomputation) on the next round.
+        self._drop_check: List[List[int]] = [
+            [0] * banks for _ in range(config.num_channels)
+        ]
+        # Per-bank lazy selection structures, valid for the policy epoch
+        # recorded in ``_bank_epoch`` (-1 = must rebuild):
+        #
+        # * ``_base_heaps[ch][b]`` — max-heap of (-prio_base, request)
+        #   over every queued request (row-miss keys);
+        # * ``_row_buckets[ch][b]`` — dict row -> max-heap of
+        #   (-prio_hit, request) over that row's queued requests.
+        #
+        # The bank's best request is max(open-row bucket top by hit key,
+        # base top by miss key): a row-hit key only differs from the miss
+        # key in flag bits that never lower it, so if the base top's row
+        # is open, the bucket top dominates it.  Entries for removed or
+        # re-keyed requests are discarded lazily when they surface; keys
+        # are unique, so heap order never falls through to comparing
+        # requests.  Open-row changes never invalidate these structures —
+        # only epoch bumps (rebuild) and promotions (re-push) do.
+        self._base_heaps: List[List[list]] = [
+            [[] for _ in range(banks)] for _ in range(config.num_channels)
+        ]
+        self._row_buckets: List[List[Dict[int, list]]] = [
+            [{} for _ in range(banks)] for _ in range(config.num_channels)
+        ]
+        self._bank_epoch: List[List[int]] = [
+            [-1] * banks for _ in range(config.num_channels)
+        ]
+        # Closed-row policy: per-bank refcounts of queued requests per row,
+        # so "does any queued request still hit this row?" is O(1).
+        self._row_refs: Optional[List[List[Dict[int, int]]]] = (
+            None
+            if config.open_row_policy
+            else [[{} for _ in range(banks)] for _ in range(config.num_channels)]
+        )
+        self._tick_impl = self._tick_reference if reference else self._tick_optimized
+        # Shadow the ``tick`` method with the chosen implementation bound
+        # directly on the instance: one less call layer per scheduling
+        # round (the method body remains as documentation/fallback for
+        # anything holding a class-level reference).
+        self.tick = self._tick_impl
 
     # -- admission ---------------------------------------------------------
 
@@ -106,17 +189,28 @@ class DRAMControllerEngine:
         is_runahead: bool = False,
     ) -> MemRequest:
         """Decode the address and construct a request (not yet enqueued)."""
-        decoded = self.mapping.decode(line_addr)
+        # Inlined AddressMapping.decode_coords (constants hoisted at
+        # construction); the column index is not part of the request, so
+        # its modulo is skipped too.
+        rest = line_addr // self._dec_lines
+        channel = rest % self._dec_channels
+        rest //= self._dec_channels
+        bank = rest % self._dec_banks
+        row = rest // self._dec_banks
+        if self._dec_perm:
+            bank = (bank ^ row) & self._dec_bank_mask
+        self._seq += 1
         return MemRequest(
             line_addr=line_addr,
             core_id=core_id,
             is_prefetch=is_prefetch,
             arrival=now,
-            channel=decoded.channel,
-            bank=decoded.bank,
-            row=decoded.row,
+            channel=channel,
+            bank=bank,
+            row=row,
             is_write=is_write,
             is_runahead=is_runahead,
+            seq=self._seq,
         )
 
     def enqueue_prefetch(self, request: MemRequest) -> bool:
@@ -140,16 +234,41 @@ class DRAMControllerEngine:
             self._admit(request)
 
     def _admit(self, request: MemRequest) -> None:
-        self._queues[request.channel][request.bank].append(request)
+        channel = request.channel
+        bank_idx = request.bank
+        queue = self._queues[channel][bank_idx]
+        request.qpos = len(queue)
+        queue.append(request)
         # Writebacks stay out of the line-address index: they never match a
         # demand, and indexing them let a writeback to line X silently evict
         # the index entry of a queued read/prefetch to the same line, making
         # find_queued lie about in-buffer requests.
         if not request.is_write:
-            self._index[request.channel][request.line_addr] = request
-        self._occupancy[request.channel] += 1
-        if self._occupancy[request.channel] > self.peak_occupancy[request.channel]:
-            self.peak_occupancy[request.channel] = self._occupancy[request.channel]
+            self._index[channel][request.line_addr] = request
+        if request.is_prefetch and self.dropper is not None:
+            checks = self._drop_check[channel]
+            deadline = self.dropper.drop_deadline(request)
+            if deadline < checks[bank_idx]:
+                checks[bank_idx] = deadline
+        if self._row_refs is not None:
+            refs = self._row_refs[channel][bank_idx]
+            refs[request.row] = refs.get(request.row, 0) + 1
+        if not self.reference:
+            # Keep the bank's selection structures coherent: if they are
+            # built for the current epoch, key the new request now and
+            # push it into both heaps; otherwise they are stale and the
+            # next scheduling round rebuilds them.
+            epoch = self.policy.epoch
+            if self._bank_epoch[channel][bank_idx] == epoch:
+                self._push_keyed(
+                    request,
+                    self._base_heaps[channel][bank_idx],
+                    self._row_buckets[channel][bank_idx],
+                    epoch,
+                )
+        self._occupancy[channel] += 1
+        if self._occupancy[channel] > self.peak_occupancy[channel]:
+            self.peak_occupancy[channel] = self._occupancy[channel]
 
     def _unindex(self, request: MemRequest) -> None:
         """Drop ``request`` from the line-address index (identity-guarded)."""
@@ -159,8 +278,18 @@ class DRAMControllerEngine:
         if index.get(request.line_addr) is request:
             del index[request.line_addr]
 
+    def _unref_row(self, request: MemRequest) -> None:
+        if self._row_refs is not None:
+            refs = self._row_refs[request.channel][request.bank]
+            remaining = refs[request.row] - 1
+            if remaining:
+                refs[request.row] = remaining
+            else:
+                del refs[request.row]
+
     def _remove(self, request: MemRequest) -> None:
         self._unindex(request)
+        self._unref_row(request)
         self._occupancy[request.channel] -= 1
         self._drain_overflow(request.channel)
 
@@ -174,6 +303,102 @@ class DRAMControllerEngine:
         """
         return self._index[channel].get(line_addr)
 
+    def earliest_service(self, request: MemRequest, now: int) -> int:
+        """First cycle at which ``request``'s bank could service it.
+
+        Used by the simulator to schedule the admission tick at the bank's
+        free time instead of immediately — a round before that provably
+        cannot service the new request, and every other bank is already
+        covered by its own tick chain.
+        """
+        busy_until = self.channels[request.channel].banks[request.bank].busy_until
+        return busy_until if busy_until > now else now
+
+    # -- priority-cache maintenance ------------------------------------------
+
+    def note_promotion(self, request: MemRequest) -> None:
+        """A queued prefetch was promoted to demand status: re-key it.
+
+        ``promote()`` already invalidated the request's cached keys; this
+        hook additionally reinserts it into the bank's selection heaps
+        with its new (demand) keys, so the promotion takes effect on the
+        very next scheduling round — the old heap entries are lazily
+        discarded when they surface (their keys no longer match).  No-op
+        for requests that already left the queue and on the reference
+        path (which re-derives every priority per round anyway).
+        """
+        if self.reference or request.qpos < 0:
+            return
+        channel = request.channel
+        bank_idx = request.bank
+        epoch = self.policy.epoch
+        if self._bank_epoch[channel][bank_idx] == epoch:
+            self._push_keyed(
+                request,
+                self._base_heaps[channel][bank_idx],
+                self._row_buckets[channel][bank_idx],
+                epoch,
+            )
+
+    def _push_keyed(
+        self, request: MemRequest, base: list, buckets: Dict[int, list], epoch: int
+    ) -> None:
+        """Key ``request`` for ``epoch`` and push it into both bank heaps."""
+        policy = self.policy
+        key = policy.priority_key(request, False)
+        request.prio_base = key
+        request.prio_hit = key + policy.hit_delta
+        request.prio_stamp = epoch
+        heappush(base, (-key, request))
+        bucket = buckets.get(request.row)
+        if bucket is None:
+            buckets[request.row] = bucket = []
+        heappush(bucket, (-request.prio_hit, request))
+
+    def _rebuild_bank(
+        self, channel_id: int, bank_idx: int, queue: List[MemRequest], epoch: int
+    ) -> Tuple[list, Dict[int, list]]:
+        """Rebuild one bank's base heap and row buckets for ``epoch``.
+
+        Re-keys every queued request whose cache is stale; runs only when
+        the policy epoch moved since the structures were built (or every
+        live entry was consumed), never on open-row changes.
+        """
+        priority_key = self.policy.priority_key
+        hit_delta = self.policy.hit_delta
+        base = []
+        buckets: Dict[int, list] = {}
+        for request in queue:
+            if request.prio_stamp != epoch:
+                request.prio_base = key = priority_key(request, False)
+                request.prio_hit = key + hit_delta
+                request.prio_stamp = epoch
+            base.append((-request.prio_base, request))
+            bucket = buckets.get(request.row)
+            if bucket is None:
+                buckets[request.row] = bucket = []
+            bucket.append((-request.prio_hit, request))
+        heapify(base)
+        for bucket in buckets.values():
+            heapify(bucket)
+        self._base_heaps[channel_id][bank_idx] = base
+        self._row_buckets[channel_id][bank_idx] = buckets
+        self._bank_epoch[channel_id][bank_idx] = epoch
+        return base, buckets
+
+    def note_interval(self) -> None:
+        """An accuracy interval ended: per-core scheduler inputs may move.
+
+        Bumps the policy's key epoch (criticality/urgency flags feed APS
+        keys) and forces one APD rescan per bank (drop thresholds are
+        re-picked from Table 6, so every cached drop deadline is suspect).
+        """
+        self.policy.notify_interval()
+        if self.dropper is not None:
+            for checks in self._drop_check:
+                for bank_idx in range(len(checks)):
+                    checks[bank_idx] = 0
+
     # -- scheduling ----------------------------------------------------------
 
     def tick(self, channel_id: int, now: int) -> Tuple[List[MemRequest], Optional[int]]:
@@ -183,6 +408,215 @@ class DRAMControllerEngine:
         ``completion`` and ``row_hit_service`` filled in) and the next
         cycle at which this channel should be ticked again, or ``None`` if
         it is idle until the next arrival.
+        """
+        return self._tick_impl(channel_id, now)
+
+    def _tick_optimized(
+        self, channel_id: int, now: int
+    ) -> Tuple[List[MemRequest], Optional[int]]:
+        channel = self.channels[channel_id]
+        queues = self._queues[channel_id]
+        policy = self.policy
+        if policy.needs_begin_tick:
+            policy.begin_tick(queues, now)
+        epoch = policy.epoch
+        dropper = self.dropper
+        drop_checks = self._drop_check[channel_id]
+        base_heaps = self._base_heaps[channel_id]
+        row_buckets = self._row_buckets[channel_id]
+        bank_epochs = self._bank_epoch[channel_id]
+        banks = channel.banks
+        # Next-wake time is folded into the scan: busy banks contribute
+        # here, serviced banks contribute their new busy time below, and
+        # overflow draining (which can repopulate any queue) falls back
+        # to a full recomputation.
+        wake = _NEVER
+        drained = False
+        # (key, bank_idx, request); keys are unique, so sorting the bare
+        # tuples never falls through to comparing requests.
+        winners: List[Tuple[int, int, MemRequest]] = []
+        for bank_idx, queue in enumerate(queues):
+            if not queue:
+                continue
+            bank = banks[bank_idx]
+            busy_until = bank.busy_until
+            if busy_until > now:
+                if busy_until < wake:
+                    wake = busy_until
+                continue
+            if dropper is not None and now >= drop_checks[bank_idx]:
+                # Age-scan round: drop over-age prefetches, compact the
+                # queue (fixing queue positions), and re-derive the bank's
+                # earliest drop deadline from the survivors.  Stale heap
+                # entries for dropped requests are discarded lazily.
+                drop_deadline = dropper.drop_deadline
+                next_check = _NEVER
+                write = 0
+                for request in queue:
+                    if request.is_prefetch:
+                        deadline = drop_deadline(request)
+                        if now >= deadline:
+                            request.qpos = -1
+                            self._drop(request)
+                            continue
+                        if deadline < next_check:
+                            next_check = deadline
+                    request.qpos = write
+                    queue[write] = request
+                    write += 1
+                del queue[write:]
+                drop_checks[bank_idx] = next_check
+                if not queue:
+                    continue
+            base = base_heaps[bank_idx]
+            if bank_epochs[bank_idx] != epoch or not base:
+                base, buckets = self._rebuild_bank(channel_id, bank_idx, queue, epoch)
+            else:
+                buckets = row_buckets[bank_idx]
+            # Sift the base heap until its top is live: still queued,
+            # stamped for this epoch, and carrying its current miss key.
+            while True:
+                neg_key, request = base[0]
+                if request.qpos >= 0:
+                    if request.prio_stamp == epoch:
+                        if -neg_key == request.prio_base:
+                            break
+                    else:
+                        # Promoted while queued under an older epoch:
+                        # re-key, reinsert into both heaps, keep sifting.
+                        heappop(base)
+                        self._push_keyed(request, base, buckets, epoch)
+                        continue
+                heappop(base)
+                if not base:
+                    # Only stale entries remained; the queue is nonempty.
+                    base, buckets = self._rebuild_bank(
+                        channel_id, bank_idx, queue, epoch
+                    )
+            best_key = -base[0][0]
+            best = base[0][1]
+            open_row = bank.open_row
+            if best.row == open_row:
+                # The base top is itself an open-row request, so it is the
+                # best open-row request (hit keys order them the same way)
+                # and beats every other candidate under either key: take
+                # it with its hit key and skip the bucket sift.
+                winners.append((best.prio_hit, bank_idx, best))
+                continue
+            # The open-row bucket's best hit-keyed request beats the base
+            # top whenever its key is >= — a hit key never compares below
+            # the same request's miss key, so the base top never wins
+            # while its own row is the open one.
+            bucket = buckets.get(open_row)
+            if bucket is not None:
+                while bucket:
+                    neg_key, request = bucket[0]
+                    if request.qpos >= 0:
+                        if request.prio_stamp == epoch:
+                            if -neg_key == request.prio_hit:
+                                if -neg_key >= best_key:
+                                    best_key = -neg_key
+                                    best = request
+                                break
+                        else:
+                            heappop(bucket)
+                            self._push_keyed(request, base, buckets, epoch)
+                            continue
+                    heappop(bucket)
+                if not bucket:
+                    del buckets[open_row]
+            winners.append((best_key, bank_idx, best))
+        if self._overflow[channel_id]:
+            self._drain_overflow(channel_id)
+            drained = True
+        if len(winners) > 1:
+            winners.sort(reverse=True)
+
+        serviced: List[MemRequest] = []
+        row_refs_ch = None if self._row_refs is None else self._row_refs[channel_id]
+        stats = self.stats
+        index_map = self._index[channel_id]
+        occupancy = self._occupancy
+        overflow = self._overflow[channel_id]
+        for key, bank_idx, request in winners:
+            row = request.row
+            state, completion = channel.service(bank_idx, row, now)
+            queue = queues[bank_idx]
+            # Swap-pop by tracked position (overflow draining, the only
+            # mutation since selection, appends and so never moves it).
+            pos = request.qpos
+            last = queue.pop()
+            if last is not request:
+                queue[pos] = last
+                last.qpos = pos
+            request.qpos = -1
+            base = base_heaps[bank_idx]
+            if base and base[0][1] is request:
+                heappop(base)
+            bucket = row_buckets[bank_idx].get(row)
+            if bucket and bucket[0][1] is request:
+                heappop(bucket)
+            # Inlined _remove(): unindex, release the row refcount (closed-
+            # row policy precharges when the count hits zero), free the
+            # buffer slot and let an overflowed demand in.
+            if not request.is_write and index_map.get(request.line_addr) is request:
+                del index_map[request.line_addr]
+            if row_refs_ch is not None:
+                refs = row_refs_ch[bank_idx]
+                remaining = refs[row] - 1
+                if remaining:
+                    refs[row] = remaining
+                else:
+                    del refs[row]
+            occupancy[channel_id] -= 1
+            if overflow:
+                # Drain before the precharge decision: an admitted demand
+                # may re-reference the just-released row.
+                self._drain_overflow(channel_id)
+                drained = True
+            if row_refs_ch is not None and row not in row_refs_ch[bank_idx]:
+                banks[bank_idx].precharge()
+            request.service_start = now
+            request.completion = completion
+            row_hit = state is RowBufferState.HIT
+            request.row_hit_service = row_hit
+            if request.is_prefetch:
+                stats.scheduled_prefetches += 1
+                if row_hit:
+                    stats.prefetch_row_hits += 1
+            else:
+                stats.scheduled_demands += 1
+                if row_hit:
+                    stats.demand_row_hits += 1
+            serviced.append(request)
+            if queue:
+                # The serviced bank still has work: it wakes when this
+                # service completes its bank occupancy.
+                busy_until = banks[bank_idx].busy_until
+                if busy_until < wake:
+                    wake = busy_until
+
+        if drained:
+            # Draining can repopulate any bank queue (including ones that
+            # were empty during the scan): recompute the wake time.
+            wake = _NEVER
+            bank_idx = 0
+            for queue in queues:
+                if queue:
+                    busy_until = banks[bank_idx].busy_until
+                    if busy_until < wake:
+                        wake = busy_until
+                bank_idx += 1
+        return serviced, None if wake == _NEVER else wake
+
+    def _tick_reference(
+        self, channel_id: int, now: int
+    ) -> Tuple[List[MemRequest], Optional[int]]:
+        """The naive scheduling round: every priority re-derived per tick.
+
+        Kept as the differential baseline for the optimized path (and for
+        benchmarking it): same policy semantics, same tie-breaks, none of
+        the caching.
         """
         channel = self.channels[channel_id]
         queues = self._queues[channel_id]
@@ -226,13 +660,13 @@ class DRAMControllerEngine:
                 self._maybe_precharge(channel_id, bank_idx, request.row)
             serviced.append(request)
 
-        next_wake = self._next_wake(channel_id)
-        return serviced, next_wake
+        return serviced, self._next_wake(channel_id)
 
     def _drop(self, request: MemRequest) -> None:
         # Overflow draining is deferred to the end of the scan: admitting a
         # waiting demand here could append to the bank queue being iterated.
         self._unindex(request)
+        self._unref_row(request)
         self._occupancy[request.channel] -= 1
         self.dropper.record_drop(request)
         self.stats.dropped_prefetches += 1
@@ -245,11 +679,18 @@ class DRAMControllerEngine:
             self._admit(overflow.popleft())
 
     def _maybe_precharge(self, channel_id: int, bank_idx: int, row: int) -> None:
-        """Closed-row policy: precharge when no queued row-hit remains."""
+        """Closed-row policy, reference form: scan the queue for a row hit."""
         for request in self._queues[channel_id][bank_idx]:
             if request.row == row:
                 return
         self.channels[channel_id].banks[bank_idx].precharge()
+
+    def _maybe_precharge_refcounted(
+        self, channel_id: int, bank_idx: int, row: int
+    ) -> None:
+        """Closed-row policy, O(1) form: consult the per-bank row refcounts."""
+        if row not in self._row_refs[channel_id][bank_idx]:
+            self.channels[channel_id].banks[bank_idx].precharge()
 
     def _record_service(self, request: MemRequest, state: RowBufferState) -> None:
         row_hit = state is RowBufferState.HIT
@@ -263,15 +704,16 @@ class DRAMControllerEngine:
                 self.stats.demand_row_hits += 1
 
     def _next_wake(self, channel_id: int) -> Optional[int]:
-        channel = self.channels[channel_id]
-        times = [
-            channel.banks[bank_idx].busy_until
-            for bank_idx, queue in enumerate(self._queues[channel_id])
-            if queue
-        ]
-        if not times:
-            return None
-        return min(times)
+        banks = self.channels[channel_id].banks
+        wake = None
+        bank_idx = 0
+        for queue in self._queues[channel_id]:
+            if queue:
+                busy_until = banks[bank_idx].busy_until
+                if wake is None or busy_until < wake:
+                    wake = busy_until
+            bank_idx += 1
+        return wake
 
     # -- introspection -------------------------------------------------------
 

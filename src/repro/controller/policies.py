@@ -1,16 +1,30 @@
 """Rigid DRAM scheduling policies (paper §1, §3).
 
-All policies are variants of FR-FCFS [27].  A policy turns a request into a
-priority tuple; the engine services the highest tuple among requests whose
-bank is free.  Tuples compare element-wise, larger wins, and every tuple
-ends with ``-arrival`` so that ties fall back to oldest-first (FCFS).
+All policies are variants of FR-FCFS [27].  A policy exposes the same
+priority order two ways:
+
+* :meth:`SchedulingPolicy.priority` — the *reference* form: a comparison
+  tuple rebuilt from scratch on every call.  Tuples compare element-wise,
+  larger wins, and every tuple ends with ``(-arrival, -seq)`` so that
+  ties fall back to oldest-first (FCFS) and then to admission order.
+* :meth:`SchedulingPolicy.priority_key` — the *packed* form: the same
+  order collapsed into one integer (see :mod:`repro.controller.cost` for
+  the bit layout).  The engine caches packed keys on the requests and
+  only recomputes them when :attr:`epoch` or the bank's open-row
+  generation moves, which is what makes the scheduling hot path
+  allocation-free (DESIGN.md §10).
+
+The two forms are totally ordered identically — the golden-equivalence
+tests pin ``priority_key`` to ``priority`` policy by policy.
 
 * ``demand-first`` — demands over prefetches, then row-hit, then FCFS.
   This is the paper's baseline.
-* ``demand-prefetch-equal`` — pure FR-FCFS: row-hit first, then FCFS,
-  ignoring the P bit.
+* ``demand-prefetch-equal`` (alias ``frfcfs``) — pure FR-FCFS: row-hit
+  first, then FCFS, ignoring the P bit.
 * ``prefetch-first`` — prefetches over demands (the worst-performing rigid
   policy, footnote 2).
+* ``fcfs`` — strict oldest-first, ignoring even the row buffer (the
+  pre-FR-FCFS baseline; useful as a lower bound in scheduler sweeps).
 """
 
 from __future__ import annotations
@@ -18,46 +32,101 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.controller.accuracy import PrefetchAccuracyTracker
+from repro.controller.cost import FCFS_BITS
 from repro.controller.request import MemRequest
 
 
 class SchedulingPolicy:
-    """Base class: maps a request to a comparable priority tuple."""
+    """Base class: maps a request to a comparable priority (tuple or int).
+
+    ``epoch`` stamps the validity of every packed key cached on a request:
+    a policy bumps it whenever *any* input to ``priority_key`` other than
+    the request itself or the bank's open row changes (accuracy-interval
+    boundaries, rank recomputations, batch formation).  Per-request
+    changes (promotion) instead invalidate that request's own cache.
+    """
 
     name = "abstract"
+
+    #: True for policies whose ``begin_tick`` does real work; the engine
+    #: skips the call (one attribute load instead of a method call) for
+    #: the rigid policies on the hot path.
+    needs_begin_tick = False
+
+    #: ``priority_key(r, True) - priority_key(r, False)``: the row-hit
+    #: bit sits at a fixed position in every key layout, so the hit
+    #: variant is the miss variant plus a per-policy constant.  The
+    #: engine computes one key per request and derives the other with a
+    #: single add (DESIGN.md §10).
+    hit_delta = 0
+
+    def __init__(self):
+        self.epoch = 0
 
     def begin_tick(self, queues, now: int) -> None:
         """Hook called once per scheduling round (used by ranking)."""
 
+    def notify_interval(self) -> None:
+        """An accuracy interval ended; invalidate keys if the policy cares."""
+
     def priority(self, request: MemRequest, row_hit: bool) -> Tuple:
         raise NotImplementedError
+
+    def priority_key(self, request: MemRequest, row_hit: bool) -> int:
+        raise NotImplementedError
+
+
+class FCFSPolicy(SchedulingPolicy):
+    """Strict first-come-first-served: age decides, row buffer ignored."""
+
+    name = "fcfs"
+
+    def priority(self, request: MemRequest, row_hit: bool) -> Tuple:
+        return (-request.arrival, -request.seq)
+
+    def priority_key(self, request: MemRequest, row_hit: bool) -> int:
+        return request.fcfs_key
 
 
 class DemandFirstPolicy(SchedulingPolicy):
     """Prioritize demands over prefetches, then row-hits, then oldest."""
 
     name = "demand-first"
+    hit_delta = 1 << FCFS_BITS
 
     def priority(self, request: MemRequest, row_hit: bool) -> Tuple:
-        return (not request.is_prefetch, row_hit, -request.arrival)
+        return (not request.is_prefetch, row_hit, -request.arrival, -request.seq)
+
+    def priority_key(self, request: MemRequest, row_hit: bool) -> int:
+        flags = ((not request.is_prefetch) << 1) | row_hit
+        return (flags << FCFS_BITS) | request.fcfs_key
 
 
 class DemandPrefetchEqualPolicy(SchedulingPolicy):
     """Pure FR-FCFS: row-hits first, then oldest, P bit ignored."""
 
     name = "demand-prefetch-equal"
+    hit_delta = 1 << FCFS_BITS
 
     def priority(self, request: MemRequest, row_hit: bool) -> Tuple:
-        return (row_hit, -request.arrival)
+        return (row_hit, -request.arrival, -request.seq)
+
+    def priority_key(self, request: MemRequest, row_hit: bool) -> int:
+        return (row_hit << FCFS_BITS) | request.fcfs_key
 
 
 class PrefetchFirstPolicy(SchedulingPolicy):
     """Prioritize prefetches over demands (for completeness, footnote 2)."""
 
     name = "prefetch-first"
+    hit_delta = 1 << FCFS_BITS
 
     def priority(self, request: MemRequest, row_hit: bool) -> Tuple:
-        return (request.is_prefetch, row_hit, -request.arrival)
+        return (request.is_prefetch, row_hit, -request.arrival, -request.seq)
+
+    def priority_key(self, request: MemRequest, row_hit: bool) -> int:
+        flags = (request.is_prefetch << 1) | row_hit
+        return (flags << FCFS_BITS) | request.fcfs_key
 
 
 def make_policy(
@@ -84,6 +153,8 @@ def make_policy(
         return DemandPrefetchEqualPolicy()
     if name == "prefetch-first":
         return PrefetchFirstPolicy()
+    if name == "fcfs":
+        return FCFSPolicy()
     if name == "parbs":
         from repro.controller.batch import BatchScheduler
 

@@ -9,11 +9,21 @@ Each request carries the fields of the paper's Figure 5/18:
 * ``arrival`` — the FCFS timestamp; ``age(now)`` derives the AGE field.
 * criticality (C), row-hit (RH), urgency (U) and RANK are computed at
   scheduling time from the bank state and the per-core accuracy registers.
+
+Scheduling hot path (DESIGN.md §10): ``seq`` is a controller-assigned
+admission sequence number that breaks every priority tie, and
+``prio_base``/``prio_hit``/``prio_stamp`` cache the packed integer
+priority key for both row-buffer outcomes so the engine only recomputes
+them when the policy's key epoch has moved.  ``promote()`` invalidates
+the cache — a cleared P bit changes the key under every prefetch-aware
+policy.
 """
 
 from __future__ import annotations
 
 from typing import Optional
+
+from repro.controller.cost import ARRIVAL_LIMIT, SEQ_BITS, SEQ_LIMIT
 
 
 class MemRequest:
@@ -34,6 +44,12 @@ class MemRequest:
         "service_start",
         "completion",
         "dropped",
+        "seq",
+        "fcfs_key",
+        "prio_base",
+        "prio_hit",
+        "prio_stamp",
+        "qpos",
     )
 
     def __init__(
@@ -47,6 +63,7 @@ class MemRequest:
         row: int,
         is_write: bool = False,
         is_runahead: bool = False,
+        seq: int = 0,
     ):
         self.line_addr = line_addr
         self.core_id = core_id
@@ -62,6 +79,22 @@ class MemRequest:
         self.service_start: Optional[int] = None
         self.completion: Optional[int] = None
         self.dropped = False
+        self.seq = seq
+        # Inlined pack_fcfs(arrival, seq): one request per miss/prefetch
+        # makes the extra call measurable.
+        self.fcfs_key = ((ARRIVAL_LIMIT - arrival) << SEQ_BITS) | (SEQ_LIMIT - seq)
+        # Cached packed priority keys for both row-buffer outcomes
+        # (``prio_hit`` applies when this request's row is open,
+        # ``prio_base`` otherwise), valid while ``prio_stamp`` matches the
+        # policy's epoch; -1 never matches.  Caching both variants makes
+        # open-row changes free — only epoch bumps and promotion
+        # invalidate (DESIGN.md §10).
+        self.prio_base = 0
+        self.prio_hit = 0
+        self.prio_stamp = -1
+        # Index of this request in its bank queue (-1 = not queued),
+        # maintained by the engine for O(1) swap-pop removal.
+        self.qpos = -1
 
     def age(self, now: int) -> int:
         """Cycles this request has been outstanding (the AGE field)."""
@@ -77,6 +110,9 @@ class MemRequest:
         if self.is_prefetch:
             self.is_prefetch = False
             self.promoted = True
+            # The P bit feeds every prefetch-aware priority key; force a
+            # recompute on the next scheduling round.
+            self.prio_stamp = -1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "P" if self.is_prefetch else ("D*" if self.promoted else "D")

@@ -21,6 +21,7 @@ class CoreState:
     __slots__ = (
         "core_id",
         "config",
+        "retire_width",
         "trace",
         "lookahead",
         "target_accesses",
@@ -50,6 +51,7 @@ class CoreState:
     ):
         self.core_id = core_id
         self.config = config
+        self.retire_width = config.retire_width
         self.trace = trace
         self.lookahead: Deque[TraceEntry] = deque()
         self.target_accesses = target_accesses
@@ -96,9 +98,12 @@ class CoreState:
 
     def rob_blocked(self) -> bool:
         """True when the ROB is full behind the oldest outstanding miss."""
-        if not self.outstanding_demand:
+        outstanding = self.outstanding_demand
+        if not outstanding:
             return False
-        oldest = min(self.outstanding_demand.values())
+        # Entries are kept ordered by send time (writers delete-then-set on
+        # re-insert), so the first value is the oldest — no min() scan.
+        oldest = next(iter(outstanding.values()))
         return self.instructions_issued - oldest >= self.config.rob_size
 
     def exec_cycles(self, gap: int) -> int:

@@ -41,6 +41,16 @@ class AddressMapping:
 
     def decode(self, line_addr: int) -> DecodedAddress:
         """Map a cache-line address to its DRAM coordinates."""
+        channel, bank, row, column = self.decode_coords(line_addr)
+        return DecodedAddress(channel=channel, bank=bank, row=row, column=column)
+
+    def decode_coords(self, line_addr: int):
+        """Decode into a plain ``(channel, bank, row, column)`` tuple.
+
+        The request-construction hot path uses this form: a frozen
+        dataclass costs an allocation plus four ``object.__setattr__``
+        calls per request (DESIGN.md §10).
+        """
         column = line_addr % self._lines_per_row
         rest = line_addr // self._lines_per_row
         channel = rest % self._num_channels
@@ -49,7 +59,7 @@ class AddressMapping:
         row = rest // self._num_banks
         if self._permutation:
             bank = (bank ^ row) & self._bank_mask
-        return DecodedAddress(channel=channel, bank=bank, row=row, column=column)
+        return channel, bank, row, column
 
     @property
     def lines_per_row(self) -> int:

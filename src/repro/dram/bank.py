@@ -86,6 +86,28 @@ class Bank:
             return self.timings.t_rcd + hit_work
         return self.timings.t_rp + self.timings.t_rcd + hit_work
 
+    def access(self, row: int, pipelined_cas: bool = False):
+        """Fused ``record_access`` + ``pre_burst_work`` for the service path.
+
+        Classifies once instead of twice; returns ``(state, work)``.
+        """
+        timings = self.timings
+        hit_work = 0 if pipelined_cas else timings.cl
+        open_row = self.open_row
+        if open_row == row:
+            self.hits += 1
+            return RowBufferState.HIT, hit_work
+        if open_row is None:
+            self.closed_accesses += 1
+            state = RowBufferState.CLOSED
+            work = timings.t_rcd + hit_work
+        else:
+            self.conflicts += 1
+            state = RowBufferState.CONFLICT
+            work = timings.t_rp + timings.t_rcd + hit_work
+        self.open_row = row
+        return state, work
+
     def record_access(self, row: int) -> RowBufferState:
         """Update hit/conflict counters and open ``row``; return the state."""
         state = self.classify(row)

@@ -30,23 +30,19 @@ class Channel:
         # telemetry layer differences it per interval for the bus
         # utilization series.
         self.bus_busy_cycles: int = 0
-
-    def _reserve_bus(self, earliest: int, duration: int) -> int:
-        """Book ``duration`` bus cycles, in scheduling order.
-
-        Data-bus slots are granted in the order the controller schedules
-        requests: a burst never overtakes an earlier-scheduled one, even
-        if its data is ready first.  This matches the paper's service
-        model — its Figure 2 timeline shows a scheduled row-conflict
-        occupying the DRAM system until its data completes, with no
-        overlap from later-scheduled row-hits — and it is what makes the
-        scheduling ORDER carry the performance consequences the paper
-        measures.
-        """
-        start = max(earliest, self.bus_busy_until)
-        self.bus_busy_until = start + duration
-        self.bus_busy_cycles += duration
-        return start
+        # Hoisted timing constants for the service hot path: precomputed
+        # (row_buffer_state, pre-burst work) pairs per access outcome.
+        timings = config.timings
+        self._burst = timings.burst
+        self._pipelined_cas = timings.pipelined_cas
+        self._post_burst = timings.cl if timings.pipelined_cas else 0
+        hit_work = 0 if timings.pipelined_cas else timings.cl
+        self._hit = (RowBufferState.HIT, hit_work)
+        self._closed = (RowBufferState.CLOSED, timings.t_rcd + hit_work)
+        self._conflict = (
+            RowBufferState.CONFLICT,
+            timings.t_rp + timings.t_rcd + hit_work,
+        )
 
     def bank_free(self, bank_idx: int, now: int) -> bool:
         return self.banks[bank_idx].busy_until <= now
@@ -71,14 +67,31 @@ class Channel:
             raise ValueError(
                 f"bank {bank_idx} busy until {bank.busy_until}, now={now}"
             )
-        work = bank.pre_burst_work(row, self.config.timings.pipelined_cas)
-        state = bank.record_access(row)
+        burst = self._burst
+        # Inlined Bank.access with the outcome pairs precomputed above.
+        open_row = bank.open_row
+        if open_row == row:
+            bank.hits += 1
+            state, work = self._hit
+        elif open_row is None:
+            bank.closed_accesses += 1
+            state, work = self._closed
+            bank.open_row = row
+        else:
+            bank.conflicts += 1
+            state, work = self._conflict
+            bank.open_row = row
         data_ready = now + work
-        burst_start = self._reserve_bus(data_ready, self.config.timings.burst)
-        burst_end = burst_start + self.config.timings.burst
-        completion = burst_end + (
-            self.config.timings.cl if self.config.timings.pipelined_cas else 0
-        )
+        # Data-bus slots are granted in the order the controller schedules
+        # requests: a burst never overtakes an earlier-scheduled one, even
+        # if its data is ready first.  This matches the paper's service
+        # model (Figure 2's scheduled row-conflict occupies the DRAM
+        # system until its data completes) and is what makes scheduling
+        # ORDER carry the performance consequences the paper measures.
+        burst_start = max(data_ready, self.bus_busy_until)
+        self.bus_busy_until = burst_end = burst_start + burst
+        self.bus_busy_cycles += burst
+        completion = burst_end + self._post_burst
         bank.busy_until = burst_end
         bank.busy_cycles += burst_end - now
         self.lines_transferred += 1

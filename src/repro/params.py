@@ -178,6 +178,10 @@ POLICY_TABLE: Dict[str, PolicyEntry] = {
     # Comparison points (§6.12 APD-on-rigid, §6.6 PAR-BS interaction).
     "demand-first-apd": PolicyEntry("demand-first-apd"),
     "parbs": PolicyEntry("parbs"),
+    # Scheduler-sweep baselines: plain FR-FCFS under its usual name, and
+    # strict FCFS as the row-buffer-oblivious lower bound.
+    "frfcfs": PolicyEntry("demand-prefetch-equal"),
+    "fcfs": PolicyEntry("fcfs"),
     # Aliases bundling PADC knob settings (paper §6.6 and §6.8).
     "padc-rank": PolicyEntry("padc", (("use_ranking", True),)),
     "aps-rank": PolicyEntry("aps", (("use_ranking", True),)),

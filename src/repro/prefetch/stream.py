@@ -78,20 +78,36 @@ class StreamPrefetcher(Prefetcher):
         self.distance = distance
 
     def _find(self, line_addr: int) -> Optional[StreamEntry]:
+        # Inlined StreamEntry.contains / near_start: this scan runs once
+        # per L2 access over up to num_streams entries, and the method
+        # calls dominated its cost.
+        train = self.train_distance
         for entry in self.entries:
-            if entry.state == _MONITORING and entry.contains(line_addr):
-                return entry
-            if entry.state == _ALLOCATED and entry.near_start(
-                line_addr, self.train_distance
-            ):
+            if entry.state == _MONITORING:
+                low = entry.mon_start
+                high = entry.mon_end
+                if low > high:
+                    low, high = high, low
+                if low <= line_addr <= high:
+                    return entry
+            elif -train <= line_addr - entry.start <= train:
                 return entry
         return None
 
     def _allocate(self, line_addr: int) -> None:
-        if len(self.entries) >= self.num_streams:
-            victim = min(self.entries, key=lambda e: e.last_use)
-            self.entries.remove(victim)
-        self.entries.append(StreamEntry(line_addr, self._tick))
+        entries = self.entries
+        if len(entries) >= self.num_streams:
+            # LRU victim by manual scan: min(entries, key=lambda ...) pays
+            # a lambda call per entry on every allocation.
+            victim = entries[0]
+            best = victim.last_use
+            for entry in entries:
+                last_use = entry.last_use
+                if last_use < best:
+                    best = last_use
+                    victim = entry
+            entries.remove(victim)
+        entries.append(StreamEntry(line_addr, self._tick))
 
     def on_access(self, line_addr, was_hit, pc=0, allocate=True) -> List[int]:
         self._tick += 1
@@ -115,13 +131,19 @@ class StreamPrefetcher(Prefetcher):
         # shift the monitoring region forward by the same amount.
         direction = entry.direction
         edge = entry.mon_end
-        prefetches = [
-            edge + step * direction for step in range(1, self.degree + 1)
-        ]
-        entry.mon_end += self.degree * direction
-        entry.mon_start += self.degree * direction
+        degree = self.degree
+        entry.mon_end += degree * direction
+        entry.mon_start += degree * direction
         self._last_triggered = entry
-        return [address for address in prefetches if address >= 0]
+        if direction > 0:
+            # Ascending streams (the common case) build the batch at C
+            # speed; negative addresses are unreachable going up.
+            return list(range(edge + 1, edge + degree + 1))
+        return [
+            address
+            for address in range(edge - 1, edge - degree - 1, -1)
+            if address >= 0
+        ]
 
     def rewind(self, count: int) -> None:
         """Roll the last triggered stream back ``count`` lines.

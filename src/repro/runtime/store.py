@@ -35,7 +35,10 @@ from repro.sim.results import SimResult
 #     new CoreResult fields (pf_evicted_unused, mshr_stalls).
 # v3: SimResult schema v2 (schema_version fields, interval-telemetry
 #     trace) and the telemetry sim kwarg.
-CACHE_VERSION = 3
+# v4: scheduler hot-path rework (PR 5): admission-seq tie-breaks replace
+#     queue-order-dependent selection, fill-waiter wake order is
+#     insertion-ordered, and admission ticks coalesce at bank-free time.
+CACHE_VERSION = 4
 
 DEFAULT_CACHE_DIR = "~/.cache/repro"
 

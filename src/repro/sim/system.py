@@ -20,7 +20,9 @@ beyond ``_DEMAND_MSHR_RESERVE`` entries.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Union
+import os
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Union
 
 from repro.cache.cache import L2Cache
 from repro.cache.mshr import MSHR
@@ -53,11 +55,6 @@ _CORE_ADDR_SHIFT = 54
 ProfileLike = Union[str, BenchmarkProfile]
 
 
-def _offset_trace(generator, offset: int):
-    for entry in generator:
-        yield entry._replace(line_addr=entry.line_addr + offset)
-
-
 class System:
     """One simulated CMP: cores, caches, prefetchers and the controller."""
 
@@ -69,6 +66,7 @@ class System:
         collect_service_times: bool = False,
         check: Optional[bool] = None,
         telemetry: Union[None, bool, NoopCollector] = None,
+        scheduler: Optional[str] = None,
     ):
         if len(benchmarks) != config.num_cores:
             raise ValueError(
@@ -102,8 +100,25 @@ class System:
             if config.policy in ("padc", "demand-first-apd")
             else None
         )
+        # Scheduler implementation: the optimized hot path by default, the
+        # naive reference path on request (``scheduler="reference"`` or
+        # ``$REPRO_SCHED=reference``).  Both produce identical results —
+        # the golden-equivalence tests and the bench CLI's verify mode pin
+        # this (DESIGN.md §10).
+        if scheduler is None:
+            scheduler = os.environ.get("REPRO_SCHED", "optimized") or "optimized"
+        if scheduler not in ("optimized", "reference"):
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}: expected 'optimized' or "
+                "'reference'"
+            )
+        self.scheduler = scheduler
         self.engine = DRAMControllerEngine(
-            config.dram, policy, dropper=dropper, on_drop=self._on_drop
+            config.dram,
+            policy,
+            dropper=dropper,
+            on_drop=self._on_drop,
+            reference=scheduler == "reference",
         )
 
         if config.cache.shared:
@@ -135,9 +150,8 @@ class System:
         self.cores: List[CoreState] = []
         self.results: List[CoreResult] = []
         for core_id, profile in enumerate(self.profiles):
-            trace = _offset_trace(
-                SyntheticTraceGenerator(profile, seed=seed + core_id).generate(),
-                (core_id + 1) << _CORE_ADDR_SHIFT,
+            trace = SyntheticTraceGenerator(profile, seed=seed + core_id).generate(
+                offset=(core_id + 1) << _CORE_ADDR_SHIFT
             )
             self.cores.append(
                 CoreState(core_id, config.core, trace, target_accesses=0)
@@ -149,7 +163,7 @@ class System:
         self._now = 0
         self._active_cores = config.num_cores
         self._tick_pending: List[Optional[int]] = [None] * config.dram.num_channels
-        self._mshr_waiters: Dict[int, List[int]] = {}
+        self._mshr_waiters: Dict[int, Deque[int]] = {}
         self._pf_service_pending: List[Dict[int, int]] = [
             {} for _ in range(config.num_cores)
         ]
@@ -211,22 +225,35 @@ class System:
             for channel_id, scheduler in enumerate(self._refresh):
                 self._push(scheduler.next_refresh_after(0), _REFRESH, channel_id)
 
+        # Hot loop: handlers, heap ops and the cycle cap are hoisted into
+        # locals (hundreds of thousands of iterations).
         heap = self._heap
+        heappop = heapq.heappop
+        tick_pending = self._tick_pending
+        handle_core = self._handle_core
+        handle_fill = self._handle_fill
+        handle_tick = self._handle_tick
+        cycle_cap = (1 << 62) if max_cycles is None else max_cycles
         while heap and self._active_cores > 0:
-            time, _seq, kind, arg = heapq.heappop(heap)
+            time, _seq, kind, arg = heappop(heap)
             self._now = time
-            if max_cycles is not None and time > max_cycles:
+            if time > cycle_cap:
                 break
             if kind == _CORE:
-                self._handle_core(arg, time, retry=False)
+                handle_core(arg, time, False)
             elif kind == _FILL:
-                self._handle_fill(arg, time)
+                handle_fill(arg, time)
             elif kind == _TICK:
-                if self._tick_pending[arg] == time:
-                    self._tick_pending[arg] = None
-                self._handle_tick(arg, time)
+                # Only the earliest pending tick per channel is live; a
+                # popped event that no longer matches was superseded by an
+                # earlier tick whose wake chain already covers every
+                # serviceable bank, so handling it would be a no-op scan.
+                if tick_pending[arg] != time:
+                    continue
+                tick_pending[arg] = None
+                handle_tick(arg, time)
             elif kind == _RETRY:
-                self._handle_core(arg, time, retry=True)
+                handle_core(arg, time, True)
             elif kind == _REFRESH:
                 self._handle_refresh(arg, time)
             else:
@@ -239,12 +266,22 @@ class System:
         if core.accesses_done >= core.target_accesses:
             self._finish_core(core, now)
             return
-        entry = core.next_entry()
+        # Inlined core.next_entry() and exec_cycles(): one call per trace
+        # entry each.
+        if core.lookahead:
+            entry = core.lookahead.popleft()
+        else:
+            entry = next(core.trace, None)
         if entry is None:
             self._finish_core(core, now)
             return
         core.pending_entry = entry
-        self._push(now + core.exec_cycles(entry.gap), _CORE, core.core_id)
+        width = core.retire_width
+        self._seq += 1
+        heapq.heappush(
+            self._heap,
+            (now + (entry.gap + width - 1) // width, self._seq, _CORE, core.core_id),
+        )
 
     def _finish_core(self, core: CoreState, now: int) -> None:
         if not core.done:
@@ -282,7 +319,11 @@ class System:
                     row_hit_fill=result.prefetch_row_hit_fill,
                     late=False,
                 )
-            self._run_prefetcher(core_id, line, True, entry.pc, now)
+            prefetcher = self._prefetchers[core_id]
+            if prefetcher is not None:
+                candidates = prefetcher.on_access(line, True, pc=entry.pc)
+                if candidates:
+                    self._issue_prefetches(core_id, candidates, entry.pc, now)
         else:
             if not retry:
                 # FDP feedback counts architectural misses, so it shares the
@@ -300,6 +341,9 @@ class System:
                 request = mshr_entry.request
                 if request.is_prefetch:
                     request.promote()
+                    # Re-key the request in the scheduler's selection heap
+                    # (no-op if it already left the request buffer).
+                    self.engine.note_promotion(request)
                     mshr_entry.promoted_late = True
                     self._count_useful(
                         request.core_id, line, row_hit_fill=None, late=True
@@ -307,23 +351,37 @@ class System:
                 if entry.is_write:
                     mshr_entry.dirty_on_fill = True
                 mshr_entry.waiters.append(core_id)
-                core.outstanding_demand[line] = core.instructions_issued
+                # Delete-then-set keeps the dict ordered by send time, the
+                # invariant CoreState.rob_blocked()'s O(1) oldest read needs.
+                od = core.outstanding_demand
+                if line in od:
+                    del od[line]
+                od[line] = core.instructions_issued
             else:
                 if mshr.full:
                     core.stalled = True
                     core.waiting_mshr = True
                     core.stall_start = now
                     core.mshr_stalls += 1
-                    self._mshr_waiters.setdefault(id(mshr), []).append(core_id)
+                    self._mshr_waiters.setdefault(id(mshr), deque()).append(core_id)
                     return
                 request = self.engine.build_request(line, core_id, False, now)
                 mshr_entry = mshr.allocate(line, request)
                 mshr_entry.dirty_on_fill = entry.is_write
                 mshr_entry.waiters.append(core_id)
                 self.engine.enqueue_demand(request)
-                self._schedule_tick(request.channel, now)
-                core.outstanding_demand[line] = core.instructions_issued
-            self._run_prefetcher(core_id, line, False, entry.pc, now)
+                self._schedule_tick(
+                    request.channel, self.engine.earliest_service(request, now)
+                )
+                od = core.outstanding_demand
+                if line in od:
+                    del od[line]
+                od[line] = core.instructions_issued
+            prefetcher = self._prefetchers[core_id]
+            if prefetcher is not None:
+                candidates = prefetcher.on_access(line, False, pc=entry.pc)
+                if candidates:
+                    self._issue_prefetches(core_id, candidates, entry.pc, now)
 
         core.pending_entry = None
         if core.rob_blocked():
@@ -336,17 +394,6 @@ class System:
 
     # -- prefetch issue ---------------------------------------------------------
 
-    def _run_prefetcher(
-        self, core_id: int, line: int, was_hit: bool, pc: int, now: int
-    ) -> None:
-        prefetcher = self._prefetchers[core_id]
-        if prefetcher is None:
-            return
-        candidates = prefetcher.on_access(line, was_hit, pc=pc)
-        if not candidates:
-            return
-        self._issue_prefetches(core_id, candidates, pc, now)
-
     def _issue_prefetches(
         self, core_id: int, candidates, pc: int, now: int
     ) -> None:
@@ -356,25 +403,35 @@ class System:
         fdp = self._fdp[core_id]
         stats = self.results[core_id]
         prefetcher = self._prefetchers[core_id]
+        engine = self.engine
+        # Direct membership probes (cache.touch_for_prefetcher and
+        # mshr.contains are pure presence checks): this loop runs for
+        # every candidate of every trigger.
+        sets = cache._sets
+        num_sets = cache.num_sets
+        mshr_entries = mshr._entries
+        mshr_cap = mshr.capacity - _DEMAND_MSHR_RESERVE
         rejected_tail = 0
         for index, candidate in enumerate(candidates):
-            if cache.touch_for_prefetcher(candidate) or mshr.contains(candidate):
+            if candidate in sets[candidate % num_sets] or candidate in mshr_entries:
                 continue
             if ddpf is not None and not ddpf.allow(candidate, pc):
                 stats.pf_filtered += 1
                 continue
-            if mshr.occupancy >= mshr.capacity - _DEMAND_MSHR_RESERVE:
+            if len(mshr_entries) >= mshr_cap:
                 stats.pf_mshr_rejected += len(candidates) - index
                 rejected_tail = len(candidates) - index
                 break
-            request = self.engine.build_request(candidate, core_id, True, now)
-            if self.engine.enqueue_prefetch(request):
+            request = engine.build_request(candidate, core_id, True, now)
+            if engine.enqueue_prefetch(request):
                 mshr.allocate(candidate, request)
                 self.tracker.record_sent(core_id)
                 stats.pf_sent += 1
                 if fdp is not None:
                     fdp.sent += 1
-                self._schedule_tick(request.channel, now)
+                self._schedule_tick(
+                    request.channel, engine.earliest_service(request, now)
+                )
             else:
                 stats.pf_rejected_full += len(candidates) - index
                 rejected_tail = len(candidates) - index
@@ -435,7 +492,9 @@ class System:
             )
             mshr.allocate(line, request)
             self.engine.enqueue_demand(request)
-            self._schedule_tick(request.channel, now)
+            self._schedule_tick(
+                request.channel, self.engine.earliest_service(request, now)
+            )
             core.runahead_issued += 1
             if prefetcher is not None:
                 # Only-train policy: existing streams keep training, no new
@@ -452,8 +511,13 @@ class System:
         if self._telemetry_on:
             self.telemetry.on_tick(self, channel, now)
         serviced, next_wake = self.engine.tick(channel, now)
-        for request in serviced:
-            self._push(request.completion, _FILL, request)
+        if serviced:
+            heap = self._heap
+            seq = self._seq
+            for request in serviced:
+                seq += 1
+                heapq.heappush(heap, (request.completion, seq, _FILL, request))
+            self._seq = seq
         if next_wake is not None:
             self._schedule_tick(channel, max(next_wake, now + 1))
 
@@ -508,7 +572,9 @@ class System:
                     fdp.pollution_filter.record_eviction(evicted.line_addr)
 
         if mshr_entry is not None and mshr_entry.waiters:
-            for waiter_id in set(mshr_entry.waiters):
+            # Order-preserving dedupe: a core can appear twice (demand then
+            # retry), and wake order must not depend on hash order.
+            for waiter_id in dict.fromkeys(mshr_entry.waiters):
                 waiter = self.cores[waiter_id]
                 waiter.outstanding_demand.pop(line, None)
                 self._maybe_resume(waiter, now)
@@ -524,7 +590,9 @@ class System:
             line, core_id, False, now, is_write=True
         )
         self.engine.enqueue_demand(request)
-        self._schedule_tick(request.channel, now)
+        self._schedule_tick(
+            request.channel, self.engine.earliest_service(request, now)
+        )
 
     def _note_unused_prefetch(self, core_id: int, line: int) -> None:
         """A prefetched line left the cache (or was dropped) unused."""
@@ -552,7 +620,7 @@ class System:
         waiters = self._mshr_waiters.get(id(mshr))
         if not waiters or mshr.full:
             return
-        core_id = waiters.pop(0)
+        core_id = waiters.popleft()
         self._push(now, _RETRY, core_id)
 
     def _on_drop(self, request: MemRequest) -> None:
@@ -581,6 +649,9 @@ class System:
         # interval's live PSC/PUC, the post-hook the derived PAR state.
         self.telemetry.on_interval_pre(self, now)
         self.tracker.end_interval()
+        # New PAR/threshold values: invalidate cached priority keys and
+        # force the APD drop deadlines to be re-derived.
+        self.engine.note_interval()
         for fdp in self._fdp:
             if fdp is not None:
                 fdp.adjust()
@@ -643,6 +714,7 @@ def simulate(
     collect_service_times: bool = False,
     check: Optional[bool] = None,
     telemetry: Union[None, bool, NoopCollector] = None,
+    scheduler: Optional[str] = None,
 ) -> SimResult:
     """Build a :class:`System` and run it — the one-call entry point.
 
@@ -659,5 +731,6 @@ def simulate(
         collect_service_times=collect_service_times,
         check=check,
         telemetry=telemetry,
+        scheduler=scheduler,
     )
     return system.run(max_accesses_per_core, max_cycles=max_cycles)

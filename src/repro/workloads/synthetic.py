@@ -41,15 +41,22 @@ class SyntheticTraceGenerator:
     def __iter__(self) -> Iterator[TraceEntry]:
         return self.generate()
 
-    def generate(self) -> Iterator[TraceEntry]:
-        """Yield an infinite stream of trace entries."""
+    def generate(self, offset: int = 0) -> Iterator[TraceEntry]:
+        """Yield an infinite stream of trace entries.
+
+        ``offset`` is added to every line address (cores get disjoint
+        address spaces).  It is folded into the base pointers up front so
+        the per-entry cost is zero; callers pass line-aligned offsets
+        (multiples of 8), which keeps the low-bit pc hash unchanged.
+        """
         profile = self.profile
         # zlib.crc32 is stable across processes (str.hash is randomized).
         rng = np.random.default_rng((self.seed, zlib.crc32(profile.name.encode())))
         gap_p = min(1.0, profile.apki / 1000.0)
-        ws_base = int(rng.integers(0, 1 << _REGION_BITS)) << 8
+        ws_base = offset + (int(rng.integers(0, 1 << _REGION_BITS)) << 8)
         stream_pos = [
-            self._fresh_base(rng, index) for index in range(profile.num_streams)
+            self._fresh_base(rng, index) + offset
+            for index in range(profile.num_streams)
         ]
         stream_left = [
             self._run_len(rng, profile.run_length)
@@ -58,54 +65,67 @@ class SyntheticTraceGenerator:
         recent: deque = deque(maxlen=64)
         access_index = 0
         in_bad_phase = False
+        # Profile constants hoisted out of the per-entry loop.
+        phase_period = profile.phase_period
+        phase_slots = 1 + profile.bad_phase_ratio
+        good_sf = profile.stream_fraction
+        good_rl = profile.run_length
+        bad_sf = profile.bad_phase_stream_fraction
+        bad_rl = profile.bad_phase_run_length
+        reuse_fraction = profile.reuse_fraction
+        hot_fraction = profile.hot_fraction
+        write_fraction = profile.write_fraction
+        num_streams = profile.num_streams
+        ws_lines = profile.ws_lines
+        stream_fraction = good_sf
+        run_length = good_rl
+        recent_append = recent.append
         while True:
-            # Batched random draws for one chunk of accesses.
-            gaps = rng.geometric(gap_p, _CHUNK) - 1
-            kind_draw = rng.random(_CHUNK)
-            stream_pick = rng.integers(0, profile.num_streams, _CHUNK)
-            ws_pick = rng.integers(0, profile.ws_lines, _CHUNK)
-            reuse_draw = rng.random(_CHUNK)
-            reuse_pick = rng.integers(0, 64, _CHUNK)
-            hot_draw = rng.random(_CHUNK)
-            write_draw = rng.random(_CHUNK)
+            # Batched random draws for one chunk of accesses, converted to
+            # plain Python lists up front: per-element numpy scalar
+            # indexing in the yield loop costs several times a list load.
+            gaps = (rng.geometric(gap_p, _CHUNK) - 1).tolist()
+            kind_draw = rng.random(_CHUNK).tolist()
+            stream_pick = rng.integers(0, num_streams, _CHUNK).tolist()
+            ws_pick = rng.integers(0, ws_lines, _CHUNK).tolist()
+            reuse_draw = rng.random(_CHUNK).tolist()
+            reuse_pick = rng.integers(0, 64, _CHUNK).tolist()
+            hot_draw = rng.random(_CHUNK).tolist()
+            write_draw = rng.random(_CHUNK).tolist()
             hot_pick = (
-                rng.integers(0, profile.hot_lines, _CHUNK)
+                rng.integers(0, profile.hot_lines, _CHUNK).tolist()
                 if profile.hot_lines
                 else None
             )
             for i in range(_CHUNK):
-                if profile.phase_period:
-                    phase = (access_index // profile.phase_period) % (
-                        1 + profile.bad_phase_ratio
-                    )
-                    in_bad_phase = phase != 0
-                if in_bad_phase:
-                    stream_fraction = profile.bad_phase_stream_fraction
-                    run_length = profile.bad_phase_run_length
-                else:
-                    stream_fraction = profile.stream_fraction
-                    run_length = profile.run_length
+                if phase_period:
+                    in_bad_phase = (access_index // phase_period) % phase_slots != 0
+                    if in_bad_phase:
+                        stream_fraction = bad_sf
+                        run_length = bad_rl
+                    else:
+                        stream_fraction = good_sf
+                        run_length = good_rl
                 if kind_draw[i] < stream_fraction:
-                    context = int(stream_pick[i])
+                    context = stream_pick[i]
                     line = stream_pos[context]
                     stream_pos[context] += 1
                     stream_left[context] -= 1
                     if stream_left[context] <= 0:
-                        stream_pos[context] = self._fresh_base(rng, context)
+                        stream_pos[context] = self._fresh_base(rng, context) + offset
                         stream_left[context] = self._run_len(rng, run_length)
                     pc = 16 + context
                 else:
-                    if recent and reuse_draw[i] < profile.reuse_fraction:
-                        line = recent[int(reuse_pick[i]) % len(recent)]
-                    elif hot_pick is not None and hot_draw[i] < profile.hot_fraction:
-                        line = ws_base + int(hot_pick[i])
+                    if recent and reuse_draw[i] < reuse_fraction:
+                        line = recent[reuse_pick[i] % len(recent)]
+                    elif hot_pick is not None and hot_draw[i] < hot_fraction:
+                        line = ws_base + hot_pick[i]
                     else:
-                        line = ws_base + int(ws_pick[i])
+                        line = ws_base + ws_pick[i]
                     pc = 8 + (line & 0x7)
-                recent.append(line)
+                recent_append(line)
                 access_index += 1
-                is_write = bool(write_draw[i] < profile.write_fraction)
-                yield TraceEntry(int(gaps[i]), line, pc, is_write)
+                yield TraceEntry(gaps[i], line, pc, write_draw[i] < write_fraction)
 
     @staticmethod
     def _fresh_base(rng: np.random.Generator, context: int) -> int:

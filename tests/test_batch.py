@@ -8,6 +8,8 @@ from repro.sim import simulate
 
 
 def request(core, arrival, is_prefetch=False):
+    # Unique seq per request, as the engine's admission counter guarantees
+    # (the marked set is keyed by seq).
     return MemRequest(
         line_addr=arrival + core * 10_000,
         core_id=core,
@@ -16,6 +18,7 @@ def request(core, arrival, is_prefetch=False):
         channel=0,
         bank=0,
         row=0,
+        seq=arrival + core * 10_000,
     )
 
 
@@ -24,7 +27,7 @@ class TestBatchFormation:
         scheduler = BatchScheduler(num_cores=2, marking_cap=2)
         queue = [request(0, t) for t in range(5)] + [request(1, 10)]
         scheduler.begin_tick([queue], now=0)
-        marked = [r for r in queue if id(r) in scheduler._marked]
+        marked = [r for r in queue if r.seq in scheduler._marked]
         assert len([r for r in marked if r.core_id == 0]) == 2
         assert len([r for r in marked if r.core_id == 1]) == 1
         assert scheduler.batches_formed == 1
@@ -33,8 +36,8 @@ class TestBatchFormation:
         scheduler = BatchScheduler(num_cores=1)
         queue = [request(0, 0, is_prefetch=True), request(0, 1)]
         scheduler.begin_tick([queue], now=0)
-        assert id(queue[0]) not in scheduler._marked
-        assert id(queue[1]) in scheduler._marked
+        assert queue[0].seq not in scheduler._marked
+        assert queue[1].seq in scheduler._marked
 
     def test_no_rebatch_while_batch_outstanding(self):
         scheduler = BatchScheduler(num_cores=1, marking_cap=1)
@@ -42,10 +45,10 @@ class TestBatchFormation:
         scheduler.begin_tick([[first]], now=0)
         late = request(0, 5)
         scheduler.begin_tick([[first, late]], now=5)
-        assert id(late) not in scheduler._marked
+        assert late.seq not in scheduler._marked
         # Once the batch drains, the next begin_tick re-forms it.
         scheduler.begin_tick([[late]], now=6)
-        assert id(late) in scheduler._marked
+        assert late.seq in scheduler._marked
         assert scheduler.batches_formed == 2
 
 

@@ -1,0 +1,198 @@
+"""Tests for the repro.bench performance harness."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_POLICIES,
+    SCALES,
+    SCHEMA_VERSION,
+    baseline_speedups,
+    check_regression,
+    load_report,
+    run_macro,
+    run_micro,
+    verify_equivalence,
+    write_report,
+)
+from repro.bench.__main__ import main as bench_main
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert {"tiny", "quick", "medium", "paper"} <= set(SCALES)
+
+    def test_sizes_monotone(self):
+        order = ["tiny", "quick", "medium", "paper"]
+        accesses = [SCALES[name].macro_accesses for name in order]
+        assert accesses == sorted(accesses)
+
+    def test_default_policies_cover_golden_matrix(self):
+        assert "padc" in DEFAULT_POLICIES
+        assert "fcfs" in DEFAULT_POLICIES
+
+
+class TestMacro:
+    def test_run_macro_reports_tick_loop(self):
+        sample = run_macro("fcfs", "tiny", "optimized")
+        assert sample["scheduler"] == "optimized"
+        assert sample["cycles"] > 0
+        assert sample["wall_s"] > 0
+        assert sample["tick_loop_s"] > 0
+        assert sample["tick_calls"] > 0
+        assert sample["tick_loop_s"] <= sample["wall_s"]
+        assert sample["cycles_per_sec"] == pytest.approx(
+            sample["cycles"] / sample["wall_s"], rel=1e-3
+        )
+        assert sample["tick_cycles_per_sec"] >= sample["cycles_per_sec"]
+
+    def test_run_macro_deterministic_cycles(self):
+        a = run_macro("fcfs", "tiny", "optimized")
+        b = run_macro("fcfs", "tiny", "reference")
+        # Same simulation either way; only the wall time may differ.
+        assert a["cycles"] == b["cycles"]
+
+
+class TestMicro:
+    def test_run_micro_drains_all_requests(self):
+        sample = run_micro("demand-first", "tiny", "optimized")
+        assert sample["requests"] > 0
+        assert sample["cycles"] > 0
+        assert sample["ticks"] > 0
+        assert sample["requests_per_sec"] > 0
+
+    def test_micro_deterministic_across_schedulers(self):
+        a = run_micro("demand-first", "tiny", "optimized")
+        b = run_micro("demand-first", "tiny", "reference")
+        assert a["requests"] == b["requests"]
+        assert a["cycles"] == b["cycles"]
+
+
+class TestEquivalence:
+    def test_single_case_identical(self):
+        result = verify_equivalence(
+            ["padc"], "tiny", mixes=[["mcf_06", "swim_00"][:2]], seeds=[5]
+        )
+        assert result["cases"] == 1
+        assert result["mismatches"] == []
+
+
+def _report(scale="tiny", speedup=3.0, policy="padc", extra=None):
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "scale": scale,
+        "macro": {"policies": {policy: {"speedup_tick_loop": speedup}}},
+    }
+    if extra:
+        report.update(extra)
+    return report
+
+
+class TestRegressionCheck:
+    def test_pass_same_scale(self):
+        assert check_regression(_report(speedup=2.9), _report(speedup=3.0)) == []
+
+    def test_fail_same_scale(self):
+        failures = check_regression(_report(speedup=2.0), _report(speedup=3.0))
+        assert len(failures) == 1
+        assert "padc" in failures[0]
+
+    def test_threshold_boundary(self):
+        # 25% below exactly is still allowed; below that fails.
+        assert check_regression(_report(speedup=2.25), _report(speedup=3.0)) == []
+        assert check_regression(_report(speedup=2.24), _report(speedup=3.0))
+
+    def test_scale_mismatch_without_side_table_skips(self):
+        current = _report(scale="tiny", speedup=1.0)
+        baseline = _report(scale="medium", speedup=5.0)
+        assert check_regression(current, baseline) == []
+        assert baseline_speedups(baseline, "tiny") is None
+
+    def test_scale_mismatch_uses_side_table(self):
+        baseline = _report(
+            scale="medium",
+            speedup=5.0,
+            extra={"speedups_by_scale": {"tiny": {"padc": 2.0}}},
+        )
+        assert baseline_speedups(baseline, "tiny") == {"padc": 2.0}
+        assert check_regression(_report(scale="tiny", speedup=1.9), baseline) == []
+        failures = check_regression(_report(scale="tiny", speedup=1.0), baseline)
+        assert len(failures) == 1
+
+    def test_schema_mismatch_fails_loud(self):
+        baseline = _report()
+        baseline["schema_version"] = SCHEMA_VERSION + 1
+        failures = check_regression(_report(), baseline)
+        assert failures and "schema_version" in failures[0]
+
+    def test_unbenchmarked_policy_ignored(self):
+        current = _report(policy="padc", speedup=3.0)
+        baseline = _report(policy="fcfs", speedup=9.0)
+        assert check_regression(current, baseline) == []
+
+
+class TestReportIO:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "BENCH_5.json")
+        report = _report()
+        write_report(path, report)
+        assert load_report(path) == report
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert load_report(str(tmp_path / "absent.json")) is None
+
+    def test_load_garbage_returns_none(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert load_report(str(path)) is None
+
+
+class TestCLI:
+    def test_main_writes_schema_versioned_report(self, tmp_path):
+        out = str(tmp_path / "BENCH_5.json")
+        code = bench_main(
+            [
+                "--scale",
+                "tiny",
+                "--policies",
+                "fcfs",
+                "--skip-verify",
+                "--skip-micro",
+                "--no-regression-check",
+                "--out",
+                out,
+            ]
+        )
+        assert code == 0
+        with open(out, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["bench"] == "BENCH_5"
+        assert report["scale"] == "tiny"
+        entry = report["macro"]["policies"]["fcfs"]
+        assert entry["optimized"]["tick_cycles_per_sec"] > 0
+        assert entry["reference"]["tick_cycles_per_sec"] > 0
+        assert entry["speedup_tick_loop"] > 0
+
+    def test_main_fails_on_regression(self, tmp_path):
+        out = str(tmp_path / "BENCH_5.json")
+        baseline_path = str(tmp_path / "baseline.json")
+        write_report(
+            baseline_path, _report(scale="tiny", speedup=1e9, policy="fcfs")
+        )
+        code = bench_main(
+            [
+                "--scale",
+                "tiny",
+                "--policies",
+                "fcfs",
+                "--skip-verify",
+                "--skip-micro",
+                "--baseline",
+                baseline_path,
+                "--out",
+                out,
+            ]
+        )
+        assert code == 1
