@@ -42,14 +42,19 @@ def simulate(
     collect_service_times: bool = False,
     check: Optional[bool] = None,
     telemetry: TelemetryLike = None,
+    backend: Optional[str] = None,
 ) -> SimResult:
     """Run one simulation in-process and return its result.
 
     ``telemetry=True`` attaches an interval-sampled
     :class:`~repro.telemetry.trace.SimTrace` as ``result.trace``;
     ``check=True`` (or ``$REPRO_CHECK=1``) audits invariants while
-    running.  Each call builds a fresh :class:`~repro.sim.system.System`
-    — the system itself refuses to run twice.
+    running.  ``backend`` picks the simulation loop (``"event"``,
+    ``"optimized"``, ``"reference"``; default ``$REPRO_BACKEND`` or the
+    skip-ahead event loop) — the choice never changes the result, only
+    the wall-clock.  Each call builds a fresh
+    :class:`~repro.sim.system.System` — the system itself refuses to run
+    twice.
     """
     return _system.simulate(
         config,
@@ -60,6 +65,7 @@ def simulate(
         collect_service_times=collect_service_times,
         check=check,
         telemetry=telemetry,
+        backend=backend,
     )
 
 
@@ -79,6 +85,12 @@ def _make_job(
     for flag in ("telemetry", "collect_service_times"):
         if pruned.get(flag) is False:
             del pruned[flag]
+    # The backend knob never reaches a job: every backend is certified
+    # byte-identical (equivalence matrix + differential fuzzer), so cache
+    # entries are shared across backends and the worker runs whichever
+    # backend its own environment resolves.  (SystemConfig.backend is
+    # likewise hash-excluded at the field.)
+    pruned.pop("backend", None)
     if pruned.get("telemetry"):
         # Collector objects are neither picklable nor hashable; through
         # the runtime the knob is a plain flag.

@@ -1,27 +1,34 @@
-"""Performance benchmark harness for the scheduling hot path (DESIGN.md §10).
+"""Performance benchmark harness for the scheduling hot path (DESIGN.md §10-11).
 
 Two benchmark tiers, both deterministic and cache-free (results come from
 freshly built :class:`~repro.sim.system.System` instances — the disk-backed
 experiment cache is never consulted, so numbers always reflect the code as
 it is now):
 
-* **tick-loop microbench** — drives ``DRAMControllerEngine.tick`` directly
-  on a pre-filled request buffer, with no core/cache/event-loop machinery
-  around it.  Isolates the scheduler itself.
+* **tick-loop microbench** — drives the scheduling round directly
+  (``DRAMControllerEngine.tick``, or the event backend's fused per-channel
+  ticker) on a pre-filled request buffer, with no core/cache/event-loop
+  machinery around it.  Isolates the scheduler itself.
 * **campaign-preset macrobench** — the ``padc`` 4-core multiprogrammed mix
   used by the campaign presets, run end-to-end through ``System.run`` with
-  the engine's tick entry point wrapped in a timing accumulator.  Reports
+  the scheduling entry point wrapped in a timing accumulator.  Reports
   both end-to-end throughput (simulated DRAM cycles per wall-clock second)
-  and *tick-loop throughput* (simulated cycles per second spent inside
-  ``engine.tick`` — the acceptance metric for the hot-path optimization).
+  and *tick-loop throughput* (simulated cycles per second spent inside the
+  scheduling round).
 
-Every run can execute against both scheduler implementations (the
-optimized incremental path and the naive reference path); their
-``SimResult.to_dict()`` outputs are asserted identical by
-:func:`verify_equivalence` before any numbers are reported, so a bench
-report is also an equivalence certificate.
+Every run can execute against all three backends (the skip-ahead ``event``
+backend, the ``optimized`` incremental heap backend, and the naive
+``reference`` path); their ``SimResult.to_dict()`` outputs are asserted
+identical by :func:`verify_equivalence` before any numbers are reported,
+so a bench report is also an equivalence certificate.
 
-The report is a schema-versioned JSON document (``BENCH_5.json``).  The
+:func:`certify_event_speedup` measures the event backend against the
+optimized heap backend with paired in-process alternation (median of
+per-pair CPU-time ratios — the pairing cancels slow machine drift that
+makes two independent best-of-N aggregates incomparable).  The resulting
+certificate is embedded in the report under ``"certificate"``.
+
+The report is a schema-versioned JSON document (``BENCH_6.json``).  The
 regression check compares the optimized/reference *speedup ratios* — a
 machine-independent quantity — against the committed baseline, flagging
 any policy whose tick-loop speedup fell by more than the threshold
@@ -32,20 +39,27 @@ from __future__ import annotations
 
 import json
 import random
+import statistics
 from dataclasses import dataclass
-from time import perf_counter
+from time import perf_counter, process_time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.params import SystemConfig, baseline_config
+from repro.params import BACKENDS, SystemConfig, baseline_config
 from repro.sim.system import System
 
-SCHEMA_VERSION = 1
-BENCH_NAME = "BENCH_5"
-DEFAULT_REPORT = "BENCH_5.json"
+SCHEMA_VERSION = 2
+BENCH_NAME = "BENCH_6"
+DEFAULT_REPORT = "BENCH_6.json"
 
 # The campaign-preset macrobench: the padc 4-core multiprogrammed mix.
 MACRO_MIX: Tuple[str, ...] = ("mcf_06", "libquantum_06", "lucas_00", "hmmer_06")
 MACRO_SEED = 7
+
+# The certificate's default cell: the paper's own prefetch-dropping
+# policy, which measured as the most run-to-run-stable cell on the dev
+# container (fcfs is marginally cheaper per round but noisier).
+CERTIFY_POLICY = "demand-first-apd"
+CERTIFY_PAIRS = 5
 
 # Policies benchmarked (and verified) by default — the golden-equivalence
 # matrix of DESIGN.md §10.
@@ -93,28 +107,64 @@ def _macro_config(policy: str) -> SystemConfig:
 
 
 class _TickTimer:
-    """Wraps ``engine.tick``, accumulating wall time spent inside it.
+    """Accumulates wall time spent inside the scheduling round.
 
-    Installed as an instance attribute on the engine (shadowing the bound
-    method), so every call site — including the run loop's hoisted local —
-    goes through it.  The overhead (two ``perf_counter`` calls per tick)
-    is identical for both scheduler implementations, so speedup ratios
-    are unaffected.
+    For the heap backends it is installed as an instance attribute on the
+    engine (shadowing the bound ``tick`` method), so every call site —
+    including the run loop's hoisted local — goes through it.  For the
+    event backend (which never calls ``engine.tick``) the per-channel
+    ticker closures are wrapped instead; see :func:`_install_tick_timer`.
+    The overhead (two ``perf_counter`` calls per round) is identical for
+    every backend, so speedup ratios are unaffected.
     """
 
     __slots__ = ("_inner", "elapsed", "calls")
 
-    def __init__(self, inner):
+    def __init__(self, inner=None):
         self._inner = inner
         self.elapsed = 0.0
         self.calls = 0
 
-    def __call__(self, channel_id: int, now: int):
+    def __call__(self, *args):
         start = perf_counter()
-        result = self._inner(channel_id, now)
+        result = self._inner(*args)
         self.elapsed += perf_counter() - start
         self.calls += 1
         return result
+
+
+def _install_tick_timer(system: System, backend: str) -> _TickTimer:
+    """Install round timing on ``system`` for the given backend.
+
+    Heap backends route every scheduling round through ``engine.tick``;
+    the event backend builds one fused ticker closure per channel via
+    ``engine.make_event_ticker`` and calls those directly, so there the
+    factory is shadowed and each closure it returns is wrapped.  All
+    wrapped closures share one accumulator, so ``elapsed``/``calls``
+    aggregate across channels exactly like the shared-``tick`` path.
+    """
+    engine = system.engine
+    if backend == "event":
+        timer = _TickTimer()
+        inner_factory = engine.make_event_ticker
+
+        def timed_factory(channel_id: int):
+            inner = inner_factory(channel_id)
+
+            def timed(now: int):
+                start = perf_counter()
+                result = inner(now)
+                timer.elapsed += perf_counter() - start
+                timer.calls += 1
+                return result
+
+            return timed
+
+        engine.make_event_ticker = timed_factory  # instance attr shadow
+        return timer
+    timer = _TickTimer(engine.tick)
+    engine.tick = timer  # instance attr shadows the bound method
+    return timer
 
 
 # -- macrobench ------------------------------------------------------------
@@ -123,29 +173,28 @@ class _TickTimer:
 def run_macro(
     policy: str,
     scale: str,
-    scheduler: str = "optimized",
+    backend: str = "event",
     *,
     seed: int = MACRO_SEED,
 ) -> Dict[str, object]:
     """Run the campaign-preset macrobench once; return its measurements.
 
-    ``tick_loop_s`` is the wall time spent inside ``engine.tick`` (the
-    scheduling hot path); ``cycles_per_sec`` and ``tick_cycles_per_sec``
-    divide the simulated cycle count by end-to-end and tick-loop wall
-    time respectively.
+    ``tick_loop_s`` is the wall time spent inside the scheduling round
+    (the hot path); ``cycles_per_sec`` and ``tick_cycles_per_sec`` divide
+    the simulated cycle count by end-to-end and tick-loop wall time
+    respectively.
     """
     sizing = SCALES[scale]
     system = System(
-        _macro_config(policy), list(MACRO_MIX), seed=seed, scheduler=scheduler
+        _macro_config(policy), list(MACRO_MIX), seed=seed, backend=backend
     )
-    timer = _TickTimer(system.engine.tick)
-    system.engine.tick = timer  # instance attr shadows the bound method
+    timer = _install_tick_timer(system, backend)
     start = perf_counter()
     result = system.run(sizing.macro_accesses)
     wall = perf_counter() - start
     cycles = result.total_cycles
     return {
-        "scheduler": scheduler,
+        "backend": backend,
         "accesses_per_core": sizing.macro_accesses,
         "cycles": cycles,
         "wall_s": round(wall, 6),
@@ -159,20 +208,25 @@ def run_macro(
 
 
 def bench_macro_policy(policy: str, scale: str, repeats: int = 1) -> Dict[str, object]:
-    """Macrobench one policy on both schedulers; best-of-``repeats``.
+    """Macrobench one policy on every backend; best-of-``repeats``.
 
-    Both variants are interleaved within each repeat round so transient
-    machine load hits them symmetrically.
+    All backends are interleaved within each repeat round so transient
+    machine load hits them symmetrically.  ``speedup_end_to_end`` and
+    ``speedup_tick_loop`` keep their PR-5 meaning (optimized heap vs
+    naive reference — the regression-check quantity); the event backend's
+    gain over the optimized heap is reported separately as
+    ``speedup_event_end_to_end`` / ``speedup_event_tick_loop``.
     """
     best: Dict[str, Dict[str, object]] = {}
     for _ in range(max(1, repeats)):
-        for scheduler in ("optimized", "reference"):
-            sample = run_macro(policy, scale, scheduler)
-            incumbent = best.get(scheduler)
+        for backend in BACKENDS:
+            sample = run_macro(policy, scale, backend)
+            incumbent = best.get(backend)
             if incumbent is None or sample["wall_s"] < incumbent["wall_s"]:
-                best[scheduler] = sample
-    opt, ref = best["optimized"], best["reference"]
+                best[backend] = sample
+    event, opt, ref = best["event"], best["optimized"], best["reference"]
     return {
+        "event": event,
         "optimized": opt,
         "reference": ref,
         "speedup_end_to_end": round(
@@ -181,6 +235,65 @@ def bench_macro_policy(policy: str, scale: str, repeats: int = 1) -> Dict[str, o
         "speedup_tick_loop": round(
             opt["tick_cycles_per_sec"] / ref["tick_cycles_per_sec"], 3
         ),
+        "speedup_event_end_to_end": round(
+            event["cycles_per_sec"] / opt["cycles_per_sec"], 3
+        ),
+        "speedup_event_tick_loop": round(
+            event["tick_cycles_per_sec"] / opt["tick_cycles_per_sec"], 3
+        ),
+    }
+
+
+# -- event-speedup certificate ---------------------------------------------
+
+
+def certify_event_speedup(
+    policy: str = CERTIFY_POLICY,
+    scale: str = "medium",
+    *,
+    pairs: int = CERTIFY_PAIRS,
+    seed: int = MACRO_SEED,
+) -> Dict[str, object]:
+    """Measure event vs optimized with paired in-process alternation.
+
+    Best-of-N aggregates taken minutes apart drift with machine load; a
+    paired design runs the two backends back-to-back and takes the median
+    of the per-pair CPU-time ratios, which cancels slow drift and is
+    robust to individual outlier pairs.  CPU time (``process_time``) is
+    used rather than wall time so a preempted run does not register as a
+    slow backend.  The first (warmup) pair pays allocator/import warmup
+    and is discarded.
+    """
+    sizing = SCALES[scale]
+    accesses = sizing.macro_accesses
+
+    def one(backend: str, n: int) -> float:
+        system = System(
+            _macro_config(policy), list(MACRO_MIX), seed=seed, backend=backend
+        )
+        start = process_time()
+        system.run(n)
+        return process_time() - start
+
+    one("optimized", max(1, accesses // 10))
+    one("event", max(1, accesses // 10))
+    ratios: List[float] = []
+    for _ in range(max(1, pairs)):
+        opt = one("optimized", accesses)
+        event = one("event", accesses)
+        ratios.append(opt / event if event else 1.0)
+    return {
+        "policy": policy,
+        "scale": scale,
+        "accesses_per_core": accesses,
+        "seed": seed,
+        "pairs": len(ratios),
+        "method": (
+            "paired in-process alternation (optimized then event per pair, "
+            "one discarded warmup pair); median of per-pair CPU-time ratios"
+        ),
+        "ratios": [round(ratio, 4) for ratio in ratios],
+        "speedup_event_vs_optimized": round(statistics.median(ratios), 3),
     }
 
 
@@ -190,23 +303,25 @@ def bench_macro_policy(policy: str, scale: str, repeats: int = 1) -> Dict[str, o
 def run_micro(
     policy: str,
     scale: str,
-    scheduler: str = "optimized",
+    backend: str = "event",
     *,
     seed: int = 3,
 ) -> Dict[str, object]:
-    """Drive ``engine.tick`` directly on a synthetic request population.
+    """Drive the scheduling round directly on a synthetic request population.
 
     A fresh engine (built with the macrobench's config so the policy,
     tracker and dropper wiring match production) is loaded with
     ``micro_requests`` pseudo-random requests — mixed demand/prefetch,
     spread across cores, banks and rows — and then ticked to exhaustion.
     Only the tick loop is timed; request construction and admission are
-    excluded (overflow draining, which happens inside ``tick``, is part
+    excluded (overflow draining, which happens inside the round, is part
     of the measured path by design — it is part of every real round).
+    The heap backends go through ``engine.tick``; the event backend
+    through its fused per-channel ticker closures.
     """
     sizing = SCALES[scale]
     system = System(
-        _macro_config(policy), list(MACRO_MIX), seed=seed, scheduler=scheduler
+        _macro_config(policy), list(MACRO_MIX), seed=seed, backend=backend
     )
     engine = system.engine
     rng = random.Random(seed)
@@ -222,21 +337,34 @@ def run_micro(
     admitted = engine.stats.enqueued_total
     num_channels = engine.config.num_channels
     stats = engine.stats
-    tick = engine.tick
     now = 0
     ticks = 0
-    start = perf_counter()
-    while stats.serviced_total + stats.dropped_prefetches < admitted:
-        next_now = None
-        for channel_id in range(num_channels):
-            _, wake = tick(channel_id, now)
-            ticks += 1
-            if wake is not None and (next_now is None or wake < next_now):
-                next_now = wake
-        now = next_now if next_now is not None and next_now > now else now + 1
-    elapsed = perf_counter() - start
+    if backend == "event":
+        tickers = [engine.make_event_ticker(ch) for ch in range(num_channels)]
+        start = perf_counter()
+        while stats.serviced_total + stats.dropped_prefetches < admitted:
+            next_now = None
+            for channel_id in range(num_channels):
+                _, wake = tickers[channel_id](now)
+                ticks += 1
+                if wake is not None and (next_now is None or wake < next_now):
+                    next_now = wake
+            now = next_now if next_now is not None and next_now > now else now + 1
+        elapsed = perf_counter() - start
+    else:
+        tick = engine.tick
+        start = perf_counter()
+        while stats.serviced_total + stats.dropped_prefetches < admitted:
+            next_now = None
+            for channel_id in range(num_channels):
+                _, wake = tick(channel_id, now)
+                ticks += 1
+                if wake is not None and (next_now is None or wake < next_now):
+                    next_now = wake
+            now = next_now if next_now is not None and next_now > now else now + 1
+        elapsed = perf_counter() - start
     return {
-        "scheduler": scheduler,
+        "backend": backend,
         "requests": admitted,
         "cycles": now,
         "ticks": ticks,
@@ -247,19 +375,23 @@ def run_micro(
 
 
 def bench_micro_policy(policy: str, scale: str, repeats: int = 1) -> Dict[str, object]:
-    """Microbench one policy on both schedulers; best-of-``repeats``."""
+    """Microbench one policy on every backend; best-of-``repeats``."""
     best: Dict[str, Dict[str, object]] = {}
     for _ in range(max(1, repeats)):
-        for scheduler in ("optimized", "reference"):
-            sample = run_micro(policy, scale, scheduler)
-            incumbent = best.get(scheduler)
+        for backend in BACKENDS:
+            sample = run_micro(policy, scale, backend)
+            incumbent = best.get(backend)
             if incumbent is None or sample["wall_s"] < incumbent["wall_s"]:
-                best[scheduler] = sample
-    opt, ref = best["optimized"], best["reference"]
+                best[backend] = sample
+    event, opt, ref = best["event"], best["optimized"], best["reference"]
     return {
+        "event": event,
         "optimized": opt,
         "reference": ref,
         "speedup": round(opt["requests_per_sec"] / ref["requests_per_sec"], 3),
+        "speedup_event": round(
+            event["requests_per_sec"] / opt["requests_per_sec"], 3
+        ),
     }
 
 
@@ -272,12 +404,14 @@ def verify_equivalence(
     *,
     mixes: Sequence[Sequence[str]] = VERIFY_MIXES,
     seeds: Sequence[int] = VERIFY_SEEDS,
+    backends: Sequence[str] = BACKENDS,
 ) -> Dict[str, object]:
-    """Optimized vs reference differential over policies × mixes × seeds.
+    """All-backend differential over policies × mixes × seeds.
 
-    Returns ``{"cases": N, "mismatches": [case descriptions]}``; an empty
-    mismatch list certifies byte-identical ``SimResult.to_dict()`` for
-    every case.
+    Every backend's ``SimResult.to_dict()`` is compared against the first
+    backend's output for the same case.  Returns ``{"cases": N,
+    "backends": [...], "mismatches": [case descriptions]}``; an empty
+    mismatch list certifies byte-identical results for every case.
     """
     accesses = SCALES[scale].verify_accesses
     mismatches: List[str] = []
@@ -287,17 +421,18 @@ def verify_equivalence(
             for seed in seeds:
                 cases += 1
                 config = baseline_config(num_cores=len(mix), policy=policy)
-                outputs = []
-                for scheduler in ("optimized", "reference"):
-                    system = System(
-                        config, list(mix), seed=seed, scheduler=scheduler
-                    )
-                    outputs.append(system.run(accesses).to_dict())
-                if outputs[0] != outputs[1]:
-                    mismatches.append(
-                        f"policy={policy} mix={','.join(mix)} seed={seed}"
-                    )
-    return {"cases": cases, "mismatches": mismatches}
+                golden = None
+                for backend in backends:
+                    system = System(config, list(mix), seed=seed, backend=backend)
+                    output = system.run(accesses).to_dict()
+                    if golden is None:
+                        golden = (backend, output)
+                    elif output != golden[1]:
+                        mismatches.append(
+                            f"policy={policy} mix={','.join(mix)} seed={seed}: "
+                            f"{backend} != {golden[0]}"
+                        )
+    return {"cases": cases, "backends": list(backends), "mismatches": mismatches}
 
 
 # -- report + regression ---------------------------------------------------
@@ -310,6 +445,9 @@ def build_report(
     repeats: int = 1,
     verify: bool = True,
     run_micro_bench: bool = True,
+    certify: bool = True,
+    certify_policy: str = CERTIFY_POLICY,
+    certify_pairs: int = CERTIFY_PAIRS,
     progress=None,
 ) -> Dict[str, object]:
     """Run the full bench matrix and assemble the report document."""
@@ -331,7 +469,7 @@ def build_report(
         "micro": {"requests": SCALES[scale].micro_requests, "policies": {}},
     }
     if verify:
-        note("verifying optimized == reference over the policy matrix ...")
+        note("verifying event == optimized == reference over the policy matrix ...")
         report["equivalence"] = verify_equivalence(policies, scale)
     for policy in policies:
         note(f"macrobench {policy} ...")
@@ -343,6 +481,14 @@ def build_report(
             report["micro"]["policies"][policy] = bench_micro_policy(
                 policy, scale, repeats
             )
+    if certify:
+        note(
+            f"certifying event speedup ({certify_policy}, "
+            f"{certify_pairs} pairs) ..."
+        )
+        report["certificate"] = certify_event_speedup(
+            certify_policy, scale, pairs=certify_pairs
+        )
     return report
 
 

@@ -1,9 +1,11 @@
 """Benchmark CLI: ``python -m repro.bench``.
 
 Runs the tick-loop microbench and the campaign-preset macrobench over the
-policy matrix, verifies optimized == reference first, writes the
-schema-versioned ``BENCH_5.json`` report, and (when a committed baseline
-exists) fails on a >25% tick-loop-speedup regression.
+policy matrix and all three backends (event / optimized / reference),
+verifies their byte-identity first, measures the event-vs-optimized
+speedup certificate, writes the schema-versioned ``BENCH_6.json`` report,
+and (when a committed baseline exists) fails on a >25% tick-loop-speedup
+regression.
 
 Examples::
 
@@ -19,6 +21,8 @@ import sys
 from typing import List, Optional
 
 from repro.bench import (
+    CERTIFY_PAIRS,
+    CERTIFY_POLICY,
     DEFAULT_POLICIES,
     DEFAULT_REPORT,
     SCALES,
@@ -32,8 +36,8 @@ from repro.bench import (
 )
 
 
-def _profile_macro(policy: str, scale: str) -> None:
-    """Profile the optimized macrobench run for one policy.
+def _profile_macro(policy: str, scale: str, backend: str = "event") -> None:
+    """Profile the macrobench run for one policy and backend.
 
     Uses ``pyinstrument`` when it is importable, ``cProfile`` (stdlib)
     otherwise — nothing is installed on demand.
@@ -45,7 +49,7 @@ def _profile_macro(policy: str, scale: str) -> None:
     if Profiler is not None:
         profiler = Profiler()
         profiler.start()
-        run_macro(policy, scale, "optimized")
+        run_macro(policy, scale, backend)
         profiler.stop()
         print(profiler.output_text(unicode=True, color=False))
         return
@@ -54,7 +58,7 @@ def _profile_macro(policy: str, scale: str) -> None:
 
     profiler = cProfile.Profile()
     profiler.enable()
-    run_macro(policy, scale, "optimized")
+    run_macro(policy, scale, backend)
     profiler.disable()
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats("tottime").print_stats(25)
@@ -101,12 +105,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--skip-verify",
         action="store_true",
-        help="skip the optimized==reference equivalence sweep",
+        help="skip the event==optimized==reference equivalence sweep",
     )
     parser.add_argument(
         "--skip-micro",
         action="store_true",
         help="skip the tick-loop microbench",
+    )
+    parser.add_argument(
+        "--skip-certify",
+        action="store_true",
+        help="skip the paired event-vs-optimized speedup certificate",
+    )
+    parser.add_argument(
+        "--certify-policy",
+        default=CERTIFY_POLICY,
+        help=f"policy cell for the speedup certificate (default: {CERTIFY_POLICY})",
+    )
+    parser.add_argument(
+        "--certify-pairs",
+        type=int,
+        default=CERTIFY_PAIRS,
+        help="paired alternation rounds for the certificate "
+        f"(default: {CERTIFY_PAIRS})",
     )
     parser.add_argument(
         "--no-regression-check",
@@ -123,7 +144,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--profile",
         action="store_true",
-        help="profile the optimized padc macrobench (pyinstrument when "
+        help="profile the event-backend padc macrobench (pyinstrument when "
         "available, else cProfile) and exit",
     )
     args = parser.parse_args(argv)
@@ -142,6 +163,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         repeats=args.repeats,
         verify=not args.skip_verify,
         run_micro_bench=not args.skip_micro,
+        certify=not args.skip_certify,
+        certify_policy=args.certify_policy,
+        certify_pairs=args.certify_pairs,
         progress=lambda message: print(f"[bench] {message}", flush=True),
     )
 
@@ -159,17 +183,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             exit_code = 1
         else:
             print(
-                f"[bench] equivalence: {equivalence['cases']} cases, "
-                "all byte-identical"
+                f"[bench] equivalence: {equivalence['cases']} cases x "
+                f"{len(equivalence['backends'])} backends, all byte-identical"
             )
 
     for policy, entry in report["macro"]["policies"].items():
         print(
-            f"[bench] {policy:18s} end-to-end "
-            f"{entry['optimized']['cycles_per_sec']:>12,.0f} cyc/s "
-            f"({entry['speedup_end_to_end']:.2f}x vs reference) | "
-            f"tick-loop {entry['optimized']['tick_cycles_per_sec']:>12,.0f} "
-            f"cyc/s ({entry['speedup_tick_loop']:.2f}x)"
+            f"[bench] {policy:18s} event "
+            f"{entry['event']['cycles_per_sec']:>12,.0f} cyc/s "
+            f"({entry['speedup_event_end_to_end']:.2f}x vs optimized) | "
+            f"optimized {entry['optimized']['cycles_per_sec']:>12,.0f} cyc/s "
+            f"({entry['speedup_end_to_end']:.2f}x vs reference, tick-loop "
+            f"{entry['speedup_tick_loop']:.2f}x)"
+        )
+
+    certificate = report.get("certificate")
+    if certificate is not None:
+        print(
+            f"[bench] certificate: event backend "
+            f"{certificate['speedup_event_vs_optimized']:.2f}x vs optimized "
+            f"({certificate['policy']}, {certificate['pairs']} pairs, "
+            f"median of paired CPU-time ratios)"
         )
 
     if baseline is not None:

@@ -24,7 +24,7 @@ the census shifts without reordering the cores.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.controller.accuracy import PrefetchAccuracyTracker
 from repro.controller.cost import FCFS_BITS, RANK_BIAS, RANK_BITS
@@ -46,7 +46,15 @@ class AdaptivePrefetchScheduler(SchedulingPolicy):
         self.use_urgency = use_urgency
         self.use_ranking = use_ranking
         self.needs_begin_tick = use_ranking
+        # The census fast path (engine-maintained per-core queue counts)
+        # carries every input Rule 2 needs; see begin_tick_census.
+        self.census_based = use_ranking
         self._rank: List[int] = [0] * tracker.num_cores
+        # Last critical-census vector ranks were derived from: rounds
+        # where the census is unchanged (common at small scales — many
+        # rounds service nothing or rearrange nothing) skip the dense-
+        # rank derivation and its sort entirely.
+        self._counts: Optional[List[int]] = None
         self.name = "aps" + ("-rank" if use_ranking else "")
         # RH is flag bit 1; with ranking the flags sit above the rank field.
         self.hit_delta = (
@@ -71,6 +79,35 @@ class AdaptivePrefetchScheduler(SchedulingPolicy):
             for request in queue:
                 if not request.is_prefetch or critical[request.core_id]:
                     counts[request.core_id] += 1
+        self._update_ranks(counts)
+
+    def begin_tick_census(self, demand_counts, prefetch_counts) -> None:
+        """Census form of :meth:`begin_tick`: same ranks, no queue scan.
+
+        The engine maintains per-core counts of queued demands and queued
+        prefetches for the channel being ticked; a core's critical count
+        is the demand count plus — only while its prefetcher measures
+        accurate — the prefetch count.  Identical to the scan by
+        construction: the scan's predicate ``not is_prefetch or
+        critical[core]`` partitions the queue into exactly these two
+        splits.  O(cores) per round, and rounds whose census is unchanged
+        skip the rank derivation too — this is what fixed the padc-rank
+        tiny-scale regression, where per-round scans of long queues
+        dominated the optimized path's win.
+        """
+        critical = self.tracker.prefetch_critical
+        counts = [
+            d + p if c else d
+            for d, p, c in zip(demand_counts, prefetch_counts, critical)
+        ]
+        if counts == self._counts:
+            return
+        self._update_ranks(counts)
+
+    def _update_ranks(self, counts: List[int]) -> None:
+        if counts == self._counts:
+            return
+        self._counts = counts
         # Only the cores' *relative* order matters: the rank field is one
         # level of a lexicographic comparison, so any monotone remapping
         # of -count selects identically.  Dense order-ranks (fewest

@@ -70,6 +70,7 @@ class ControllerStats:
         "prefetches_rejected_full",
         "demand_overflows",
         "enqueued_total",
+        "rounds",
     )
 
     def __init__(self):
@@ -84,6 +85,12 @@ class ControllerStats:
         # FIFO).  Closes the lifecycle conservation law audited by
         # repro.validate: enqueued == serviced + dropped + still queued.
         self.enqueued_total = 0
+        # Scheduling rounds executed (one per tick, across channels and
+        # backends).  Not part of SimResult — it pins *work done*, not
+        # simulated behavior: the regression test for the APS-rank census
+        # path asserts the round count for a fixed seed is unchanged, so
+        # a perf fix cannot silently alter how often the scheduler runs.
+        self.rounds = 0
 
     @property
     def serviced_total(self) -> int:
@@ -100,12 +107,23 @@ class DRAMControllerEngine:
         dropper: Optional[AdaptivePrefetchDropper] = None,
         on_drop: Optional[Callable[[MemRequest], None]] = None,
         reference: bool = False,
+        backend: Optional[str] = None,
     ):
         self.config = config
         self.policy = policy
         self.dropper = dropper
         self.on_drop = on_drop
-        self.reference = reference
+        # ``backend`` names the simulation backend driving this engine
+        # ("event", "optimized", "reference"); the legacy ``reference``
+        # flag is kept as a shorthand for backend="reference".  The
+        # engine itself only distinguishes reference from non-reference —
+        # the event backend reuses the optimized selection structures
+        # (its fused loop keeps them coherent through the same
+        # _admit/_push_keyed/_rebuild_bank helpers).
+        if backend is None:
+            backend = "reference" if reference else "optimized"
+        self.backend = backend
+        self.reference = reference = backend == "reference"
         self.mapping = AddressMapping(config)
         # Decode constants hoisted for the inlined decode in
         # build_request (AddressMapping validates banks_per_channel).
@@ -170,6 +188,26 @@ class DRAMControllerEngine:
             if config.open_row_policy
             else [[{} for _ in range(banks)] for _ in range(config.num_channels)]
         )
+        # Critical-census counters for ranking policies (APS Rule 2): the
+        # per-channel, per-core counts of queued demands and queued
+        # prefetches.  ``begin_tick`` needs the per-core number of
+        # *critical* requests every round; maintaining these two splits
+        # incrementally (admission, service, drop, promotion) turns that
+        # from an O(queued) queue scan per round into an O(cores) read —
+        # criticality only depends on the demand/prefetch split and the
+        # tracker's per-core flags.  Reference path keeps the scan (it is
+        # the spec the census is checked against).
+        if policy.census_based and not reference:
+            cores = policy.tracker.num_cores
+            self._census_demand: Optional[List[List[int]]] = [
+                [0] * cores for _ in range(config.num_channels)
+            ]
+            self._census_prefetch: Optional[List[List[int]]] = [
+                [0] * cores for _ in range(config.num_channels)
+            ]
+        else:
+            self._census_demand = None
+            self._census_prefetch = None
         self._tick_impl = self._tick_reference if reference else self._tick_optimized
         # Shadow the ``tick`` method with the chosen implementation bound
         # directly on the instance: one less call layer per scheduling
@@ -266,6 +304,11 @@ class DRAMControllerEngine:
                     self._row_buckets[channel][bank_idx],
                     epoch,
                 )
+            if self._census_demand is not None:
+                if request.is_prefetch:
+                    self._census_prefetch[channel][request.core_id] += 1
+                else:
+                    self._census_demand[channel][request.core_id] += 1
         self._occupancy[channel] += 1
         if self._occupancy[channel] > self.peak_occupancy[channel]:
             self.peak_occupancy[channel] = self._occupancy[channel]
@@ -331,6 +374,11 @@ class DRAMControllerEngine:
             return
         channel = request.channel
         bank_idx = request.bank
+        if self._census_demand is not None:
+            # The request flipped P -> demand while queued: move its
+            # census count across the split (promote() already ran).
+            self._census_prefetch[channel][request.core_id] -= 1
+            self._census_demand[channel][request.core_id] += 1
         epoch = self.policy.epoch
         if self._bank_epoch[channel][bank_idx] == epoch:
             self._push_keyed(
@@ -417,8 +465,15 @@ class DRAMControllerEngine:
         channel = self.channels[channel_id]
         queues = self._queues[channel_id]
         policy = self.policy
+        self.stats.rounds += 1
         if policy.needs_begin_tick:
-            policy.begin_tick(queues, now)
+            if self._census_demand is not None:
+                policy.begin_tick_census(
+                    self._census_demand[channel_id],
+                    self._census_prefetch[channel_id],
+                )
+            else:
+                policy.begin_tick(queues, now)
         epoch = policy.epoch
         dropper = self.dropper
         drop_checks = self._drop_check[channel_id]
@@ -538,6 +593,7 @@ class DRAMControllerEngine:
         index_map = self._index[channel_id]
         occupancy = self._occupancy
         overflow = self._overflow[channel_id]
+        census_demand = self._census_demand
         for key, bank_idx, request in winners:
             row = request.row
             state, completion = channel.service(bank_idx, row, now)
@@ -568,6 +624,11 @@ class DRAMControllerEngine:
                     refs[row] = remaining
                 else:
                     del refs[row]
+            if census_demand is not None:
+                if request.is_prefetch:
+                    self._census_prefetch[channel_id][request.core_id] -= 1
+                else:
+                    census_demand[channel_id][request.core_id] -= 1
             occupancy[channel_id] -= 1
             if overflow:
                 # Drain before the precharge decision: an admitted demand
@@ -609,6 +670,252 @@ class DRAMControllerEngine:
                 bank_idx += 1
         return serviced, None if wake == _NEVER else wake
 
+    def make_event_ticker(
+        self, channel_id: int
+    ) -> Callable[[int], Tuple[List[MemRequest], Optional[int]]]:
+        """Build the event backend's fused scheduling round for one channel.
+
+        A closure-specialized port of :meth:`_tick_optimized` for the
+        skip-ahead backend (DESIGN.md §11): per-channel state — queues,
+        selection heaps, drop deadlines, census splits, the channel's
+        timing constants — is bound once per run instead of re-resolved
+        every round, and :meth:`Channel.service` is inlined into the
+        service loop.  Every behavioral line is a direct port of the
+        shared tick (which remains the spec the heap backends run), and
+        the byte-identity is certified by the golden-equivalence matrix
+        and the differential fuzzer.
+        """
+        channel = self.channels[channel_id]
+        banks = channel.banks
+        queues = self._queues[channel_id]
+        policy = self.policy
+        stats = self.stats
+        dropper = self.dropper
+        drop_checks = self._drop_check[channel_id] if dropper is not None else None
+        drop_deadline = dropper.drop_deadline if dropper is not None else None
+        base_heaps = self._base_heaps[channel_id]
+        row_buckets = self._row_buckets[channel_id]
+        bank_epochs = self._bank_epoch[channel_id]
+        index_map = self._index[channel_id]
+        occupancy = self._occupancy
+        overflow = self._overflow[channel_id]
+        census_d = (
+            self._census_demand[channel_id]
+            if self._census_demand is not None
+            else None
+        )
+        census_p = (
+            self._census_prefetch[channel_id]
+            if self._census_prefetch is not None
+            else None
+        )
+        row_refs_ch = None if self._row_refs is None else self._row_refs[channel_id]
+        push_keyed = self._push_keyed
+        rebuild = self._rebuild_bank
+        drop = self._drop
+        drain = self._drain_overflow
+        begin_census = (
+            policy.begin_tick_census
+            if policy.needs_begin_tick and census_d is not None
+            else None
+        )
+        begin_scan = (
+            policy.begin_tick
+            if policy.needs_begin_tick and census_d is None
+            else None
+        )
+        # Channel timing constants (Channel.service inlined below).
+        burst = channel._burst
+        post_burst = channel._post_burst
+        hit_work = channel._hit[1]
+        closed_work = channel._closed[1]
+        conflict_work = channel._conflict[1]
+
+        def tick_event(now):
+            stats.rounds += 1
+            if begin_census is not None:
+                begin_census(census_d, census_p)
+            elif begin_scan is not None:
+                begin_scan(queues, now)
+            epoch = policy.epoch
+            wake = _NEVER
+            drained = False
+            winners = []
+            for bank_idx, queue in enumerate(queues):
+                if not queue:
+                    continue
+                bank = banks[bank_idx]
+                busy_until = bank.busy_until
+                if busy_until > now:
+                    if busy_until < wake:
+                        wake = busy_until
+                    continue
+                if drop_checks is not None and now >= drop_checks[bank_idx]:
+                    next_check = _NEVER
+                    write = 0
+                    for request in queue:
+                        if request.is_prefetch:
+                            deadline = drop_deadline(request)
+                            if now >= deadline:
+                                request.qpos = -1
+                                drop(request)
+                                continue
+                            if deadline < next_check:
+                                next_check = deadline
+                        request.qpos = write
+                        queue[write] = request
+                        write += 1
+                    del queue[write:]
+                    drop_checks[bank_idx] = next_check
+                    if not queue:
+                        continue
+                base = base_heaps[bank_idx]
+                if bank_epochs[bank_idx] != epoch or not base:
+                    base, buckets = rebuild(channel_id, bank_idx, queue, epoch)
+                else:
+                    buckets = row_buckets[bank_idx]
+                while True:
+                    neg_key, request = base[0]
+                    if request.qpos >= 0:
+                        if request.prio_stamp == epoch:
+                            if -neg_key == request.prio_base:
+                                break
+                        else:
+                            heappop(base)
+                            push_keyed(request, base, buckets, epoch)
+                            continue
+                    heappop(base)
+                    if not base:
+                        base, buckets = rebuild(channel_id, bank_idx, queue, epoch)
+                best_key = -base[0][0]
+                best = base[0][1]
+                open_row = bank.open_row
+                if best.row == open_row:
+                    winners.append((best.prio_hit, bank_idx, best))
+                    continue
+                bucket = buckets.get(open_row)
+                if bucket is not None:
+                    while bucket:
+                        neg_key, request = bucket[0]
+                        if request.qpos >= 0:
+                            if request.prio_stamp == epoch:
+                                if -neg_key == request.prio_hit:
+                                    if -neg_key >= best_key:
+                                        best_key = -neg_key
+                                        best = request
+                                    break
+                            else:
+                                heappop(bucket)
+                                push_keyed(request, base, buckets, epoch)
+                                continue
+                        heappop(bucket)
+                    if not bucket:
+                        del buckets[open_row]
+                winners.append((best_key, bank_idx, best))
+            if overflow:
+                drain(channel_id)
+                drained = True
+            if len(winners) > 1:
+                winners.sort(reverse=True)
+
+            serviced = []
+            for key, bank_idx, request in winners:
+                row = request.row
+                # Channel.service inlined (constants prebound): the bank
+                # is occupied for the command sequence, then one burst on
+                # the shared bus, granted in scheduling order.
+                bank = banks[bank_idx]
+                open_row = bank.open_row
+                if open_row == row:
+                    bank.hits += 1
+                    row_hit = True
+                    work = hit_work
+                elif open_row is None:
+                    bank.closed_accesses += 1
+                    row_hit = False
+                    work = closed_work
+                    bank.open_row = row
+                else:
+                    bank.conflicts += 1
+                    row_hit = False
+                    work = conflict_work
+                    bank.open_row = row
+                data_ready = now + work
+                bus = channel.bus_busy_until
+                burst_end = (data_ready if data_ready > bus else bus) + burst
+                channel.bus_busy_until = burst_end
+                channel.bus_busy_cycles += burst
+                completion = burst_end + post_burst
+                bank.busy_until = burst_end
+                bank.busy_cycles += burst_end - now
+                channel.lines_transferred += 1
+
+                queue = queues[bank_idx]
+                pos = request.qpos
+                last = queue.pop()
+                if last is not request:
+                    queue[pos] = last
+                    last.qpos = pos
+                request.qpos = -1
+                base = base_heaps[bank_idx]
+                if base and base[0][1] is request:
+                    heappop(base)
+                bucket = row_buckets[bank_idx].get(row)
+                if bucket and bucket[0][1] is request:
+                    heappop(bucket)
+                if (
+                    not request.is_write
+                    and index_map.get(request.line_addr) is request
+                ):
+                    del index_map[request.line_addr]
+                if row_refs_ch is not None:
+                    refs = row_refs_ch[bank_idx]
+                    remaining = refs[row] - 1
+                    if remaining:
+                        refs[row] = remaining
+                    else:
+                        del refs[row]
+                if census_d is not None:
+                    if request.is_prefetch:
+                        census_p[request.core_id] -= 1
+                    else:
+                        census_d[request.core_id] -= 1
+                occupancy[channel_id] -= 1
+                if overflow:
+                    drain(channel_id)
+                    drained = True
+                if row_refs_ch is not None and row not in row_refs_ch[bank_idx]:
+                    bank.open_row = None
+                request.service_start = now
+                request.completion = completion
+                request.row_hit_service = row_hit
+                if request.is_prefetch:
+                    stats.scheduled_prefetches += 1
+                    if row_hit:
+                        stats.prefetch_row_hits += 1
+                else:
+                    stats.scheduled_demands += 1
+                    if row_hit:
+                        stats.demand_row_hits += 1
+                serviced.append(request)
+                if queue:
+                    busy_until = bank.busy_until
+                    if busy_until < wake:
+                        wake = busy_until
+
+            if drained:
+                wake = _NEVER
+                bank_idx = 0
+                for queue in queues:
+                    if queue:
+                        busy_until = banks[bank_idx].busy_until
+                        if busy_until < wake:
+                            wake = busy_until
+                    bank_idx += 1
+            return serviced, None if wake == _NEVER else wake
+
+        return tick_event
+
     def _tick_reference(
         self, channel_id: int, now: int
     ) -> Tuple[List[MemRequest], Optional[int]]:
@@ -620,6 +927,7 @@ class DRAMControllerEngine:
         """
         channel = self.channels[channel_id]
         queues = self._queues[channel_id]
+        self.stats.rounds += 1
         self.policy.begin_tick(queues, now)
         winners: List[Tuple[Tuple, int, MemRequest]] = []
         for bank_idx, queue in enumerate(queues):
@@ -667,6 +975,9 @@ class DRAMControllerEngine:
         # waiting demand here could append to the bank queue being iterated.
         self._unindex(request)
         self._unref_row(request)
+        if self._census_prefetch is not None:
+            # Only prefetches are ever dropped.
+            self._census_prefetch[request.channel][request.core_id] -= 1
         self._occupancy[request.channel] -= 1
         self.dropper.record_drop(request)
         self.stats.dropped_prefetches += 1

@@ -53,6 +53,19 @@ class SchedulingPolicy:
     #: the rigid policies on the hot path.
     needs_begin_tick = False
 
+    #: True when ``begin_tick``'s only input from the queues is the
+    #: per-core count of queued demands/prefetches.  The engine then
+    #: maintains those counts incrementally and calls
+    #: :meth:`begin_tick_census` instead of handing over the queues —
+    #: O(cores) per round instead of O(queued requests).  Policies that
+    #: read more than the census (PAR-BS batch marking reads admission
+    #: order) keep the queue scan.
+    census_based = False
+
+    def begin_tick_census(self, demand_counts, prefetch_counts) -> None:
+        """Census form of :meth:`begin_tick` (see :attr:`census_based`)."""
+        raise NotImplementedError
+
     #: ``priority_key(r, True) - priority_key(r, False)``: the row-hit
     #: bit sits at a fixed position in every key layout, so the hit
     #: variant is the miss variant plus a per-policy constant.  The

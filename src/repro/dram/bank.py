@@ -23,7 +23,16 @@ class RowBufferState(enum.Enum):
 
 
 class Bank:
-    """One DRAM bank: open-row state plus a busy-until timestamp."""
+    """One DRAM bank: open-row state plus a busy-until timestamp.
+
+    ``busy_until`` doubles as a scheduling-relevant timestamp for the
+    skip-ahead event backend (DESIGN.md §11): the engine's next-wake scan
+    takes the minimum over non-empty bank queues, and the event loop
+    advances the clock directly to it.  Anything that occupies a bank
+    must therefore go through ``busy_until`` (as ``Channel.service`` and
+    ``RefreshScheduler.apply`` do) — side-channel stalls would be
+    invisible to the skip-ahead computation.
+    """
 
     __slots__ = (
         "timings",

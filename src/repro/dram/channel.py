@@ -53,6 +53,12 @@ class Channel:
         Returns ``(row_buffer_state, completion_time)``.  The caller must
         ensure the bank is free at ``now``.
 
+        This body is inlined (with the outcome pairs above prebound) in
+        ``DRAMControllerEngine.make_event_ticker``'s service loop — a
+        behavioral change here must be mirrored there, or the golden
+        equivalence matrix and the differential fuzzer will flag the
+        event backend as divergent.
+
         Timing model (paper §2.1 / footnote 4): the bank is occupied for
         the full command sequence — CL for a row-hit, tRCD+CL row-closed,
         tRP+tRCD+CL row-conflict — and then for its data burst on the

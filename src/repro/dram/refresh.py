@@ -47,7 +47,14 @@ class RefreshScheduler:
         )
 
     def next_refresh_after(self, now: int) -> int:
-        """The first refresh boundary strictly after ``now``."""
+        """The first refresh boundary strictly after ``now``.
+
+        The event backend schedules this timestamp as a wake event
+        instead of polling every round, so boundaries must be computable
+        in advance from ``now`` alone; a stateful (e.g. drift-correcting)
+        refresh scheme would also need a new event source in
+        ``sim/skipahead.py``.
+        """
         interval = self.config.interval
         return ((now // interval) + 1) * interval
 

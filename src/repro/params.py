@@ -144,6 +144,42 @@ class PADCConfig:
     age_granularity: int = 100
 
 
+#: Simulation backends, fastest first.  All three are certified
+#: byte-identical by the golden-equivalence matrix and the differential
+#: fuzzer (DESIGN.md §11), which is what justifies excluding the backend
+#: knob from result-cache keys: a cached result answers for any backend.
+#:
+#: * ``"event"`` — the skip-ahead loop: scheduling-relevant timestamps
+#:   (bank free times, arrivals, interval/refresh boundaries) are tracked
+#:   as scalar next-event times and the clock jumps straight to them;
+#: * ``"optimized"`` — PR 5's cached-key scheduler under the generic
+#:   event heap (every tick is a heap event);
+#: * ``"reference"`` — the naive scheduler that re-derives every
+#:   priority per round; the differential baseline.
+BACKENDS: Tuple[str, ...] = ("event", "optimized", "reference")
+
+DEFAULT_BACKEND = "event"
+
+
+class BackendError(ValueError):
+    """An unknown simulation-backend name; the message lists the choices."""
+
+
+def resolve_backend(name: Optional[str]) -> str:
+    """Validate a backend spelling; ``None`` means the default.
+
+    Raises :class:`BackendError` (a ``ValueError``) for unknown names so
+    every backend-accepting surface shares one error message.
+    """
+    if name is None:
+        return DEFAULT_BACKEND
+    if name not in BACKENDS:
+        raise BackendError(
+            f"unknown backend {name!r}; known backends: {', '.join(BACKENDS)}"
+        )
+    return name
+
+
 class PolicyError(ValueError):
     """An unknown scheduling-policy name; the message suggests fixes."""
 
@@ -222,6 +258,16 @@ class SystemConfig:
     prefetcher: PrefetcherConfig = field(default_factory=PrefetcherConfig)
     padc: PADCConfig = field(default_factory=PADCConfig)
     policy: str = "demand-first"
+    # Simulation backend (:data:`BACKENDS`); ``None`` defers to the
+    # $REPRO_BACKEND env knob and then :data:`DEFAULT_BACKEND`.  Excluded
+    # from content hashing (``exclude_from_hash``): the backends are
+    # certified byte-identical, so two configs differing only here MUST
+    # share one cache entry — a result computed under any backend answers
+    # for all of them.  This is the only field allowed to carry the
+    # exclusion marker; tests/test_backend_cache.py pins that.
+    backend: Optional[str] = field(
+        default=None, metadata={"exclude_from_hash": True}
+    )
 
     def with_policy(self, policy: str, **padc_overrides) -> "SystemConfig":
         """Return a copy of this config with a different scheduling policy.

@@ -38,6 +38,17 @@ class Prefetcher:
         """(degree, distance) if meaningful for this prefetcher."""
         return None
 
+    def set_aggressiveness(self, degree: int, distance: int) -> None:
+        """Adopt an FDP throttling decision.
+
+        Table-based prefetchers (stride/CDC/Markov) have no
+        degree/distance knob, so FDP's level moves are recorded by the
+        controller but have no effect here.  Only stream-style
+        prefetchers override this.  (Found by the differential fuzzer:
+        ``filter_kind="fdp"`` with a non-stream prefetcher used to crash
+        at the first interval boundary.)
+        """
+
     def rewind(self, count: int) -> None:
         """The memory system could not accept the last ``count`` candidates.
 

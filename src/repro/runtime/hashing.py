@@ -8,6 +8,15 @@ the APD drop thresholds, so two different systems shared one cache
 entry.  Hashing the canonical JSON form of the whole dataclass tree
 makes that class of bug structurally impossible: a new field changes the
 hash by construction.
+
+The one sanctioned escape hatch is declared *at the field*, not here: a
+dataclass field carrying ``metadata={"exclude_from_hash": True}`` is
+skipped.  It exists for knobs that select among certified-identical
+implementations (``SystemConfig.backend``: every backend produces
+byte-identical results, so a cached result answers for all of them).
+Because the exclusion is declared on the field next to its
+justification — and asserted by tests — it cannot silently collide the
+way a hand-picked inclusion list can.
 """
 
 from __future__ import annotations
@@ -25,7 +34,11 @@ def canonicalize(obj):
     alias.  Tuples and lists both become lists; dict keys are sorted.
     """
     if is_dataclass(obj) and not isinstance(obj, type):
-        body = {f.name: canonicalize(getattr(obj, f.name)) for f in fields(obj)}
+        body = {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in fields(obj)
+            if not f.metadata.get("exclude_from_hash")
+        }
         return {"__dataclass__": type(obj).__name__, **body}
     if isinstance(obj, dict):
         return {

@@ -38,7 +38,12 @@ from repro.sim.results import SimResult
 # v4: scheduler hot-path rework (PR 5): admission-seq tie-breaks replace
 #     queue-order-dependent selection, fill-waiter wake order is
 #     insertion-ordered, and admission ticks coalesce at bank-free time.
-CACHE_VERSION = 4
+# v5: skip-ahead event backend (PR 6) becomes the default simulation
+#     loop.  Results are certified byte-identical across backends (the
+#     backend knob is hash-excluded), but the version stamp still moves:
+#     entries written before the certification machinery existed must
+#     not answer for the new default path.
+CACHE_VERSION = 5
 
 DEFAULT_CACHE_DIR = "~/.cache/repro"
 

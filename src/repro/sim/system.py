@@ -34,7 +34,7 @@ from repro.controller.request import MemRequest
 from repro.core.core import CoreState
 from repro.dram.refresh import RefreshScheduler
 from repro.core.trace import TraceEntry
-from repro.params import SystemConfig
+from repro.params import SystemConfig, resolve_backend
 from repro.prefetch.base import make_prefetcher
 from repro.prefetch.ddpf import DDPFFilter
 from repro.prefetch.fdp import FDPController
@@ -67,6 +67,7 @@ class System:
         check: Optional[bool] = None,
         telemetry: Union[None, bool, NoopCollector] = None,
         scheduler: Optional[str] = None,
+        backend: Optional[str] = None,
     ):
         if len(benchmarks) != config.num_cores:
             raise ValueError(
@@ -100,25 +101,32 @@ class System:
             if config.policy in ("padc", "demand-first-apd")
             else None
         )
-        # Scheduler implementation: the optimized hot path by default, the
-        # naive reference path on request (``scheduler="reference"`` or
-        # ``$REPRO_SCHED=reference``).  Both produce identical results —
-        # the golden-equivalence tests and the bench CLI's verify mode pin
-        # this (DESIGN.md §10).
-        if scheduler is None:
-            scheduler = os.environ.get("REPRO_SCHED", "optimized") or "optimized"
-        if scheduler not in ("optimized", "reference"):
-            raise ValueError(
-                f"unknown scheduler {scheduler!r}: expected 'optimized' or "
-                "'reference'"
+        # Simulation backend: the skip-ahead event loop by default, the
+        # heap-scheduled optimized loop and the naive reference path on
+        # request.  All three produce byte-identical results — the
+        # golden-equivalence tests, the differential fuzzer and the bench
+        # CLI's verify mode pin this (DESIGN.md §10–11).  Resolution
+        # order: explicit ``backend=`` arg > legacy ``scheduler=`` arg >
+        # ``config.backend`` > ``$REPRO_BACKEND`` > legacy
+        # ``$REPRO_SCHED`` > the package default.
+        if backend is None:
+            backend = (
+                scheduler
+                or config.backend
+                or os.environ.get("REPRO_BACKEND")
+                or os.environ.get("REPRO_SCHED")
+                or None
             )
-        self.scheduler = scheduler
+        backend = resolve_backend(backend)
+        self.backend = backend
+        # Backwards-compatible alias: pre-PR-6 callers read ``scheduler``.
+        self.scheduler = backend
         self.engine = DRAMControllerEngine(
             config.dram,
             policy,
             dropper=dropper,
             on_drop=self._on_drop,
-            reference=scheduler == "reference",
+            backend="reference" if backend == "reference" else "optimized",
         )
 
         if config.cache.shared:
@@ -163,6 +171,22 @@ class System:
         self._now = 0
         self._active_cores = config.num_cores
         self._tick_pending: List[Optional[int]] = [None] * config.dram.num_channels
+        # Sequence stamps for the scalar (non-heap) tick events used by the
+        # skip-ahead backend; unused (but kept allocated, for introspection
+        # symmetry) under the heap backends.  ``_tick_stale`` remembers the
+        # (time -> seq) of superseded arms whose time has not passed yet —
+        # see _schedule_tick_event for why they can come back to life.
+        self._tick_seq: List[int] = [0] * config.dram.num_channels
+        self._tick_stale: List[Dict[int, int]] = [
+            {} for _ in range(config.dram.num_channels)
+        ]
+        if backend == "event":
+            # Scalar tick arming: the skip-ahead loop reads the pending
+            # time directly instead of pushing TICK tuples through the
+            # heap.  Bound as an instance attribute so the cold-path
+            # helpers (_issue_writeback, _run_runahead, refresh) shared
+            # with the heap backends transparently arm the scalar slot.
+            self._schedule_tick = self._schedule_tick_event  # type: ignore[method-assign]
         self._mshr_waiters: Dict[int, Deque[int]] = {}
         self._pf_service_pending: List[Dict[int, int]] = [
             {} for _ in range(config.num_cores)
@@ -198,6 +222,37 @@ class System:
         self._tick_pending[channel] = time
         self._push(time, _TICK, channel)
 
+    def _schedule_tick_event(self, channel: int, time: int) -> None:
+        """Scalar tick arming for the skip-ahead backend.
+
+        Byte-identity with the heap backends requires two things:
+
+        * consuming one sequence number exactly where the heap version
+          would have pushed a TICK tuple (sequence numbers break
+          equal-time ties for *every* event, so the counters must
+          advance in lock-step), including for arms that end up
+          superseded;
+        * honoring **revival**: the heap loop discards a popped tick
+          tuple by comparing its *time* against the pending slot, so a
+          superseded tuple whose time coincides with a later re-arm is
+          picked up as the live tick — and fires with its *old* (lower)
+          sequence number, ordering ahead of events armed in between.
+          ``_tick_stale`` tracks superseded (time -> seq) so the scalar
+          slot adopts that older stamp when a re-arm lands on it.
+        """
+        pending = self._tick_pending[channel]
+        if pending is not None and pending <= time:
+            return
+        self._seq += 1
+        stale = self._tick_stale[channel]
+        if pending is not None and pending not in stale:
+            # The first tuple pushed for a given time has the smallest
+            # sequence number, which is the one that fires; keep it.
+            stale[pending] = self._tick_seq[channel]
+        revived = stale.get(time)
+        self._tick_pending[channel] = time
+        self._tick_seq[channel] = self._seq if revived is None else revived
+
     # -- public API ------------------------------------------------------------
 
     def run(
@@ -216,6 +271,10 @@ class System:
                 "a fresh System, or use repro.api.simulate() which does"
             )
         self._ran = True
+        if self.backend == "event":
+            from repro.sim.skipahead import run_event
+
+            return run_event(self, max_accesses_per_core, max_cycles)
         self.telemetry.on_start(self)
         for core in self.cores:
             core.target_accesses = max_accesses_per_core
@@ -715,6 +774,7 @@ def simulate(
     check: Optional[bool] = None,
     telemetry: Union[None, bool, NoopCollector] = None,
     scheduler: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> SimResult:
     """Build a :class:`System` and run it — the one-call entry point.
 
@@ -723,6 +783,9 @@ def simulate(
     :mod:`repro.validate` invariant auditor; ``telemetry=True`` (or a
     collector instance) attaches an interval-sampled
     :class:`~repro.telemetry.trace.SimTrace` to the result.
+    ``backend`` selects the simulation loop (``"event"``, ``"optimized"``
+    or ``"reference"``; the legacy ``scheduler`` spelling is honored for
+    the latter two) — all backends produce byte-identical results.
     """
     system = System(
         config,
@@ -732,5 +795,6 @@ def simulate(
         check=check,
         telemetry=telemetry,
         scheduler=scheduler,
+        backend=backend,
     )
     return system.run(max_accesses_per_core, max_cycles=max_cycles)

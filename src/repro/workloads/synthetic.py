@@ -80,6 +80,11 @@ class SyntheticTraceGenerator:
         stream_fraction = good_sf
         run_length = good_rl
         recent_append = recent.append
+        # Entries are built through tuple.__new__: the namedtuple
+        # constructor re-parses its four arguments on every call, and this
+        # loop is the single hottest allocation site in a simulation.
+        entry_new = tuple.__new__
+        entry_cls = TraceEntry
         while True:
             # Batched random draws for one chunk of accesses, converted to
             # plain Python lists up front: per-element numpy scalar
@@ -125,7 +130,9 @@ class SyntheticTraceGenerator:
                     pc = 8 + (line & 0x7)
                 recent_append(line)
                 access_index += 1
-                yield TraceEntry(gaps[i], line, pc, write_draw[i] < write_fraction)
+                yield entry_new(
+                    entry_cls, (gaps[i], line, pc, write_draw[i] < write_fraction)
+                )
 
     @staticmethod
     def _fresh_base(rng: np.random.Generator, context: int) -> int:

@@ -9,6 +9,7 @@ from repro.bench import (
     SCALES,
     SCHEMA_VERSION,
     baseline_speedups,
+    certify_event_speedup,
     check_regression,
     load_report,
     run_macro,
@@ -17,6 +18,7 @@ from repro.bench import (
     write_report,
 )
 from repro.bench.__main__ import main as bench_main
+from repro.params import BACKENDS
 
 
 class TestScales:
@@ -34,9 +36,10 @@ class TestScales:
 
 
 class TestMacro:
-    def test_run_macro_reports_tick_loop(self):
-        sample = run_macro("fcfs", "tiny", "optimized")
-        assert sample["scheduler"] == "optimized"
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_run_macro_reports_tick_loop(self, backend):
+        sample = run_macro("fcfs", "tiny", backend)
+        assert sample["backend"] == backend
         assert sample["cycles"] > 0
         assert sample["wall_s"] > 0
         assert sample["tick_loop_s"] > 0
@@ -48,10 +51,9 @@ class TestMacro:
         assert sample["tick_cycles_per_sec"] >= sample["cycles_per_sec"]
 
     def test_run_macro_deterministic_cycles(self):
-        a = run_macro("fcfs", "tiny", "optimized")
-        b = run_macro("fcfs", "tiny", "reference")
-        # Same simulation either way; only the wall time may differ.
-        assert a["cycles"] == b["cycles"]
+        # Same simulation on every backend; only the wall time may differ.
+        cycles = {run_macro("fcfs", "tiny", backend)["cycles"] for backend in BACKENDS}
+        assert len(cycles) == 1
 
 
 class TestMicro:
@@ -62,11 +64,43 @@ class TestMicro:
         assert sample["ticks"] > 0
         assert sample["requests_per_sec"] > 0
 
-    def test_micro_deterministic_across_schedulers(self):
-        a = run_micro("demand-first", "tiny", "optimized")
-        b = run_micro("demand-first", "tiny", "reference")
-        assert a["requests"] == b["requests"]
-        assert a["cycles"] == b["cycles"]
+    def test_micro_deterministic_across_backends(self):
+        samples = [run_micro("demand-first", "tiny", b) for b in BACKENDS]
+        assert len({s["requests"] for s in samples}) == 1
+        assert len({s["cycles"] for s in samples}) == 1
+
+
+class TestRoundsPinned:
+    """Satellite regression pin for the padc-rank tiny-scale macrobench cell.
+
+    The BENCH_5-era tick loop re-armed a wake for every scheduling round
+    and the ranked census rebuilt even when nothing moved, which showed
+    up as a 0.939x tick-loop ratio at tiny scale.  This pins the exact
+    number of scheduling rounds the fixed hot path executes for the
+    macrobench mix at tiny scale (seed 7) — a behavioral change that
+    inflates round count (extra no-op wakes, lost skip-ahead) breaks the
+    pin even when byte-identity still holds.  Regenerate the constant by
+    running the loop below if the simulation semantics legitimately
+    change (CACHE_VERSION bump).
+    """
+
+    PINNED_ROUNDS = 6582
+    PINNED_CYCLES = 257295
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_padc_rank_tiny_rounds_pinned(self, backend):
+        from repro.bench import MACRO_MIX, MACRO_SEED, _macro_config
+        from repro.sim.system import System
+
+        system = System(
+            _macro_config("padc-rank"),
+            list(MACRO_MIX),
+            seed=MACRO_SEED,
+            backend=backend,
+        )
+        result = system.run(SCALES["tiny"].macro_accesses)
+        assert system.engine.stats.rounds == self.PINNED_ROUNDS
+        assert result.total_cycles == self.PINNED_CYCLES
 
 
 class TestEquivalence:
@@ -75,7 +109,19 @@ class TestEquivalence:
             ["padc"], "tiny", mixes=[["mcf_06", "swim_00"][:2]], seeds=[5]
         )
         assert result["cases"] == 1
+        assert result["backends"] == list(BACKENDS)
         assert result["mismatches"] == []
+
+
+class TestCertificate:
+    def test_certificate_shape(self):
+        certificate = certify_event_speedup("fcfs", "tiny", pairs=1)
+        assert certificate["policy"] == "fcfs"
+        assert certificate["scale"] == "tiny"
+        assert certificate["pairs"] == 1
+        assert len(certificate["ratios"]) == 1
+        assert certificate["speedup_event_vs_optimized"] > 0
+        assert "paired" in certificate["method"]
 
 
 def _report(scale="tiny", speedup=3.0, policy="padc", extra=None):
@@ -134,7 +180,7 @@ class TestRegressionCheck:
 
 class TestReportIO:
     def test_roundtrip(self, tmp_path):
-        path = str(tmp_path / "BENCH_5.json")
+        path = str(tmp_path / "BENCH_6.json")
         report = _report()
         write_report(path, report)
         assert load_report(path) == report
@@ -150,7 +196,7 @@ class TestReportIO:
 
 class TestCLI:
     def test_main_writes_schema_versioned_report(self, tmp_path):
-        out = str(tmp_path / "BENCH_5.json")
+        out = str(tmp_path / "BENCH_6.json")
         code = bench_main(
             [
                 "--scale",
@@ -160,6 +206,10 @@ class TestCLI:
                 "--skip-verify",
                 "--skip-micro",
                 "--no-regression-check",
+                "--certify-pairs",
+                "1",
+                "--certify-policy",
+                "fcfs",
                 "--out",
                 out,
             ]
@@ -168,15 +218,19 @@ class TestCLI:
         with open(out, "r", encoding="utf-8") as handle:
             report = json.load(handle)
         assert report["schema_version"] == SCHEMA_VERSION
-        assert report["bench"] == "BENCH_5"
+        assert report["bench"] == "BENCH_6"
         assert report["scale"] == "tiny"
         entry = report["macro"]["policies"]["fcfs"]
+        assert entry["event"]["tick_cycles_per_sec"] > 0
         assert entry["optimized"]["tick_cycles_per_sec"] > 0
         assert entry["reference"]["tick_cycles_per_sec"] > 0
         assert entry["speedup_tick_loop"] > 0
+        assert entry["speedup_event_end_to_end"] > 0
+        assert report["certificate"]["policy"] == "fcfs"
+        assert report["certificate"]["speedup_event_vs_optimized"] > 0
 
     def test_main_fails_on_regression(self, tmp_path):
-        out = str(tmp_path / "BENCH_5.json")
+        out = str(tmp_path / "BENCH_6.json")
         baseline_path = str(tmp_path / "baseline.json")
         write_report(
             baseline_path, _report(scale="tiny", speedup=1e9, policy="fcfs")
@@ -189,6 +243,7 @@ class TestCLI:
                 "fcfs",
                 "--skip-verify",
                 "--skip-micro",
+                "--skip-certify",
                 "--baseline",
                 baseline_path,
                 "--out",

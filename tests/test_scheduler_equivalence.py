@@ -1,19 +1,25 @@
-"""Golden equivalence: optimized scheduler == naive reference, byte for byte.
+"""Golden equivalence: every backend == the naive reference, byte for byte.
 
 The optimized hot path (cached packed keys, epoch invalidation, bucket
-heaps, swap-pop — DESIGN.md §10) must be observationally identical to the
-reference path that re-derives every priority each round.  These tests pin
-``SimResult.to_dict()`` equality across the policy × workload-mix × seed
-matrix, plus unit tests for the two cache-invalidation events (interval
+heaps, swap-pop — DESIGN.md §10) and the skip-ahead event backend
+(DESIGN.md §11) must be observationally identical to the reference path
+that re-derives every priority each round.  These tests pin
+``SimResult.to_dict()`` equality across the backend × policy ×
+workload-mix × seed matrix — the backend axis is drawn from
+``repro.params.BACKENDS``, so a future backend auto-enrolls the moment
+it is registered — plus refresh-enabled and multi-channel/ranked config
+variants, and unit tests for the two cache-invalidation events (interval
 boundary, promotion).
 """
+
+import dataclasses
 
 import pytest
 
 from repro.bench import VERIFY_MIXES
 from repro.controller.engine import DRAMControllerEngine
 from repro.controller.policies import make_policy
-from repro.params import DRAMConfig, baseline_config
+from repro.params import BACKENDS, DRAMConfig, baseline_config
 from repro.sim.system import System
 
 POLICIES = [
@@ -27,18 +33,58 @@ POLICIES = [
 SEEDS = [7, 11]
 ACCESSES = 600
 
+# Backends compared against the reference; auto-grows with the registry.
+NON_REFERENCE = [backend for backend in BACKENDS if backend != "reference"]
+
+
+def _run(config, mix, seed, backend):
+    return System(config, list(mix), seed=seed, backend=backend).run(
+        ACCESSES
+    ).to_dict()
+
+
+def _assert_all_backends_match(config, mix, seed):
+    golden = _run(config, mix, seed, "reference")
+    for backend in NON_REFERENCE:
+        assert _run(config, mix, seed, backend) == golden, backend
+
 
 @pytest.mark.parametrize("policy", POLICIES)
 @pytest.mark.parametrize("mix_index", range(len(VERIFY_MIXES)))
 @pytest.mark.parametrize("seed", SEEDS)
-def test_optimized_matches_reference(policy, mix_index, seed):
-    mix = list(VERIFY_MIXES[mix_index])
+def test_backends_match_reference(policy, mix_index, seed):
+    mix = VERIFY_MIXES[mix_index]
     config = baseline_config(num_cores=len(mix), policy=policy)
-    outputs = []
-    for scheduler in ("optimized", "reference"):
-        system = System(config, mix, seed=seed, scheduler=scheduler)
-        outputs.append(system.run(ACCESSES).to_dict())
-    assert outputs[0] == outputs[1]
+    _assert_all_backends_match(config, mix, seed)
+
+
+@pytest.mark.parametrize("policy", ["demand-first", "padc", "padc-rank"])
+def test_backends_match_reference_with_refresh(policy):
+    # All-bank refresh inserts periodic bank-blocking windows; the event
+    # backend must treat each refresh boundary as a wake source rather
+    # than discovering it a tick late.  A short interval makes several
+    # refresh windows land inside the run.
+    mix = VERIFY_MIXES[0]
+    config = baseline_config(num_cores=len(mix), policy=policy)
+    config = dataclasses.replace(
+        config,
+        dram=dataclasses.replace(
+            config.dram, refresh_enabled=True, refresh_interval=5_000
+        ),
+    )
+    _assert_all_backends_match(config, mix, seed=7)
+
+
+@pytest.mark.parametrize("policy", ["frfcfs", "padc-rank", "aps-rank"])
+def test_backends_match_reference_multichannel_ranked(policy):
+    # Two channels exercise per-channel tick interleaving (the event
+    # backend keeps one fused ticker and stale-tick map per channel);
+    # the -rank policies layer the dense-rank census on top.
+    mix = VERIFY_MIXES[1]
+    config = baseline_config(
+        num_cores=len(mix), policy=policy, num_channels=2, permutation=True
+    )
+    _assert_all_backends_match(config, mix, seed=11)
 
 
 # -- epoch invalidation ----------------------------------------------------

@@ -1,0 +1,63 @@
+"""Paired event-vs-optimized timing harness (development tool).
+
+Runs the two backends alternately in one process and reports the median
+of per-pair CPU-time ratios, which cancels the machine's slow drift far
+better than comparing two best-of-N aggregates.
+
+Usage: PYTHONPATH=src python tools/ratio_bench.py [policy ...] [--pairs N]
+       [--accesses N]
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+
+from repro.bench import MACRO_MIX, MACRO_SEED, _macro_config
+from repro.sim.system import System
+
+
+def run_once(policy: str, backend: str, accesses: int) -> float:
+    system = System(
+        _macro_config(policy), list(MACRO_MIX), seed=MACRO_SEED, backend=backend
+    )
+    t0 = time.process_time()
+    system.run(accesses)
+    return time.process_time() - t0
+
+
+def main(argv) -> None:
+    policies = [a for a in argv if not a.startswith("--")]
+    if not policies:
+        policies = ["fcfs", "demand-first", "padc", "padc-rank"]
+    pairs = 7
+    accesses = 20000
+    for arg in argv:
+        if arg.startswith("--pairs="):
+            pairs = int(arg.split("=")[1])
+        if arg.startswith("--accesses="):
+            accesses = int(arg.split("=")[1])
+    for policy in policies:
+        ratios = []
+        opt_times = []
+        event_times = []
+        # Warmup pair (first run pays import/alloc warmup).
+        run_once(policy, "optimized", accesses // 10)
+        run_once(policy, "event", accesses // 10)
+        for _ in range(pairs):
+            opt = run_once(policy, "optimized", accesses)
+            ev = run_once(policy, "event", accesses)
+            opt_times.append(opt)
+            event_times.append(ev)
+            ratios.append(opt / ev)
+        med = statistics.median(ratios)
+        print(
+            f"{policy:18s} opt_min={min(opt_times):.3f}s ev_min={min(event_times):.3f}s "
+            f"ratio med={med:.3f}x min={min(ratios):.3f}x max={max(ratios):.3f}x",
+            flush=True,
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
