@@ -165,18 +165,91 @@ def campaign(
     """
     # Imported lazily: repro.campaign pulls in repro.experiments, which
     # itself imports this module.
-    from repro.campaign import CampaignSpec
     from repro.campaign import executor as _executor
+
+    spec = _coerce_spec(spec)
+    return _executor.submit(
+        spec, directory=directory, runtime=runtime, retries=retries
+    )
+
+
+def _coerce_spec(spec):
+    from repro.campaign import CampaignSpec
 
     if isinstance(spec, str):
         from repro.campaign import presets as _presets
 
-        spec = _presets.build(spec)
-    elif isinstance(spec, dict):
-        spec = CampaignSpec.from_dict(spec)
-    return _executor.submit(
-        spec, directory=directory, runtime=runtime, retries=retries
-    )
+        return _presets.build(spec)
+    if isinstance(spec, dict):
+        return CampaignSpec.from_dict(spec)
+    return spec
+
+
+def campaign_create(
+    spec,
+    *,
+    directory=None,
+    backend: Optional[str] = None,
+    root=None,
+):
+    """Create (or idempotently reopen) a campaign without executing it.
+
+    This is the submission half of the campaign service: bind ``spec``
+    (a :class:`~repro.campaign.CampaignSpec`, preset name, or spec dict)
+    to its directory, snapshot it, and — on the sqlite backend — enqueue
+    the full job expansion so workers (``python -m repro.campaign
+    worker``) can start claiming.  ``root`` overrides the campaigns root
+    the default directory is derived under.  Returns the
+    :class:`~repro.campaign.Campaign`.
+    """
+    from pathlib import Path
+
+    from repro.campaign import executor as _executor
+
+    spec = _coerce_spec(spec)
+    if directory is None:
+        base = Path(root) if root is not None else _executor.campaigns_root()
+        directory = base / f"{spec.name}-{spec.fingerprint()[:12]}"
+    created = _executor.Campaign.create(spec, directory, backend=backend)
+    store = created.ledger
+    if hasattr(store, "ensure_jobs"):
+        from repro.campaign.worker import job_meta
+
+        store.ensure_jobs(
+            [(job.key, job_meta(job)) for job in created.unique_jobs()]
+        )
+    return created
+
+
+def campaign_status(directory) -> dict:
+    """One campaign's identity + status histogram as plain JSON-able data."""
+    from repro.campaign import executor as _executor
+
+    opened = _executor.Campaign.open(directory)
+    counts = opened.status_counts()
+    from repro.campaign.report import status_summary
+
+    return {
+        "id": opened.directory.name,
+        "directory": str(opened.directory),
+        "name": opened.spec.name,
+        "backend": opened.backend,
+        "fingerprint": opened.spec.fingerprint(),
+        "total": len(opened.unique_jobs()),
+        "counts": counts,
+        "complete": counts.get("done", 0) == len(opened.unique_jobs()),
+        "text": status_summary(opened),
+    }
+
+
+def campaign_export(directory, *, fmt: str = "csv", runtime: Optional[Runtime] = None) -> str:
+    """Deterministic CSV/JSON export of a campaign (any backend)."""
+    from repro.campaign import executor as _executor
+    from repro.campaign.report import export as _export
+
+    opened = _executor.Campaign.open(directory)
+    runtime = runtime or get_runtime()
+    return _export(opened, runtime.store, fmt=fmt)
 
 
 RESULT_SCHEMA_VERSION = _results.RESULT_SCHEMA_VERSION
@@ -185,6 +258,9 @@ __all__ = [
     "RESULT_SCHEMA_VERSION",
     "SimResult",
     "campaign",
+    "campaign_create",
+    "campaign_export",
+    "campaign_status",
     "simulate",
     "submit",
     "submit_many",

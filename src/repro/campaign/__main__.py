@@ -8,11 +8,26 @@ Usage::
     python -m repro.campaign resume <campaign-dir> -j 8
     python -m repro.campaign export <campaign-dir> --format csv -o out.csv
 
+Multi-worker execution (shared SQLite job store with lease-based crash
+reclaim)::
+
+    python -m repro.campaign create --name paper --backend sqlite
+    python -m repro.campaign worker <campaign-dir> &   # as many as you like,
+    python -m repro.campaign worker <campaign-dir>     # on any machine
+    python -m repro.campaign serve --port 8642         # JSON submit/status API
+
 ``run`` prints the campaign directory it used; ``status``/``resume``/
 ``export`` take that directory.  A ``run`` over a directory that already
 has ledger entries refuses to proceed unless you pass ``--resume``
 (continue unfinished work) or ``--fresh`` (discard the ledger and drive
 every job again — results still cached in the store stay warm).
+
+``--backend jsonl|sqlite`` (or ``$REPRO_CAMPAIGN_BACKEND``) picks the
+status journal; jsonl stays the default, and directories that already
+hold a ``jobs.sqlite`` reopen on the sqlite backend automatically.
+``worker`` requires sqlite: claims need a transactional store.  Workers
+drain gracefully on SIGTERM (current job finishes and is journaled) and
+lose nothing on SIGKILL (the lease expires; the job is reclaimed).
 
 Exit codes: 0 on success, 1 if any job is failed/unfinished, 2 on usage
 or spec errors.
@@ -22,7 +37,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 from pathlib import Path
 from typing import List, Optional
 
@@ -32,7 +49,7 @@ from repro.campaign.executor import (
     CampaignRunner,
     default_directory,
 )
-from repro.campaign.ledger import LEDGER_NAME
+from repro.campaign.jobstore import BACKENDS, DEFAULT_LEASE, JobStoreError
 from repro.campaign.report import export, status_summary
 from repro.campaign.spec import CampaignSpec, SpecError
 
@@ -45,12 +62,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="expand a spec and run its jobs")
-    source = run.add_mutually_exclusive_group(required=True)
-    source.add_argument(
-        "--name", help="predefined campaign (see repro.campaign.presets)"
-    )
-    source.add_argument("--spec", help="path to a campaign spec JSON file")
+    _add_spec_source(run)
     run.add_argument("--dir", help="campaign directory (default: derived from the spec)")
+    _add_backend_flag(run)
     run.add_argument(
         "--resume",
         action="store_true",
@@ -69,6 +83,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_flags(run)
 
+    create = sub.add_parser(
+        "create",
+        help="snapshot a spec and enqueue its jobs without executing "
+        "(workers do the executing)",
+    )
+    _add_spec_source(create)
+    create.add_argument(
+        "--dir", help="campaign directory (default: derived from the spec)"
+    )
+    _add_backend_flag(create)
+
     status = sub.add_parser("status", help="progress/failure report from the ledger")
     status.add_argument("directory", help="campaign directory")
 
@@ -76,6 +101,75 @@ def _build_parser() -> argparse.ArgumentParser:
     resume.add_argument("directory", help="campaign directory")
     resume.add_argument("--limit", type=int, default=None, help=argparse.SUPPRESS)
     _add_execution_flags(resume)
+
+    worker = sub.add_parser(
+        "worker",
+        help="claim and execute jobs from a shared sqlite job store until "
+        "the campaign is drained",
+    )
+    worker.add_argument("directory", help="campaign directory (sqlite backend)")
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable identity for leases (default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--lease",
+        type=float,
+        default=DEFAULT_LEASE,
+        help="claim lease in seconds; a dead worker's job is reclaimed "
+        "this long after its last heartbeat (default: %(default)s)",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="seconds to sleep when no job is claimable (default: %(default)s)",
+    )
+    worker.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="exit after claiming N jobs (testing hook)",
+    )
+    worker.add_argument(
+        "--throttle",
+        type=float,
+        default=0.0,
+        help="sleep N seconds after each claim before executing "
+        "(rate-limiting / lease-reclaim smoke hook)",
+    )
+    worker.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts per failing job before its failure is final",
+    )
+    worker.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result store location (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    worker.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+
+    serve = sub.add_parser(
+        "serve", help="JSON-over-HTTP front-end: POST specs, GET status/export"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None, help="default 8642")
+    serve.add_argument(
+        "--root",
+        default=None,
+        help="campaigns root served (default $REPRO_CAMPAIGN_DIR or "
+        "<cache-dir>/campaigns)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result store exports read from (default $REPRO_CACHE_DIR)",
+    )
 
     exp = sub.add_parser("export", help="export ledger + metrics rows")
     exp.add_argument("directory", help="campaign directory")
@@ -85,6 +179,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, help="result store the campaign ran against"
     )
     return parser
+
+
+def _add_spec_source(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--name", help="predefined campaign (see repro.campaign.presets)"
+    )
+    source.add_argument("--spec", help="path to a campaign spec JSON file")
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="status journal backend (default $REPRO_CAMPAIGN_BACKEND or jsonl; "
+        "multi-worker execution needs sqlite)",
+    )
 
 
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
@@ -112,7 +224,7 @@ def _runtime(args):
     from repro import runtime
 
     if getattr(args, "jobs", None) is not None or getattr(args, "cache_dir", None):
-        return runtime.configure(jobs=args.jobs, cache_dir=args.cache_dir)
+        return runtime.configure(jobs=getattr(args, "jobs", None), cache_dir=args.cache_dir)
     return runtime.get_runtime()
 
 
@@ -141,13 +253,14 @@ def _cmd_run(args) -> int:
     runtime = _runtime(args)
     spec = _load_spec(args)
     directory = Path(args.dir) if args.dir else default_directory(spec, runtime.store.root)
-    campaign = Campaign.create(spec, directory)
-    if campaign.ledger.exists() and campaign.ledger.records():
+    campaign = Campaign.create(spec, directory, backend=args.backend)
+    ledger = campaign.ledger
+    if ledger.exists() and ledger.records():
         if args.fresh:
-            campaign.ledger.path.unlink()
+            ledger.clear()
         elif not args.resume:
             print(
-                f"error: {directory} already has a run ledger ({LEDGER_NAME}); "
+                f"error: {directory} already has a run ledger; "
                 "pass --resume to continue it or --fresh to start over",
                 file=sys.stderr,
             )
@@ -156,6 +269,20 @@ def _cmd_run(args) -> int:
         resume=True, limit=args.limit
     )
     return _finish_run(campaign, run)
+
+
+def _cmd_create(args) -> int:
+    from repro import api
+
+    spec = _load_spec(args)
+    directory = Path(args.dir) if args.dir else None
+    campaign = api.campaign_create(spec, directory=directory, backend=args.backend)
+    print(
+        f"campaign {campaign.spec.name!r}: {len(campaign.unique_jobs())} job(s) "
+        f"on the {campaign.backend} backend"
+    )
+    print(f"campaign directory: {campaign.directory}")
+    return 0
 
 
 def _cmd_status(args) -> int:
@@ -172,6 +299,55 @@ def _cmd_resume(args) -> int:
         resume=True, limit=args.limit
     )
     return _finish_run(campaign, run)
+
+
+def _cmd_worker(args) -> int:
+    from repro.campaign.worker import default_worker_id, run_worker
+
+    runtime = _runtime(args)
+    campaign = Campaign.open(args.directory)
+    worker_id = args.worker_id or default_worker_id()
+    stop = threading.Event()
+
+    def _drain(signum, frame):
+        print(f"[{worker_id}] SIGTERM: draining after the current job", file=sys.stderr)
+        stop.set()
+
+    # Signal handlers only work in the main thread; the worker CLI owns it.
+    previous = signal.signal(signal.SIGTERM, _drain)
+    try:
+        stats = run_worker(
+            campaign,
+            runtime=runtime,
+            worker_id=worker_id,
+            lease=args.lease,
+            poll=args.poll,
+            retries=args.retries,
+            max_jobs=args.max_jobs,
+            throttle=args.throttle,
+            should_stop=stop.is_set,
+            log=(lambda message: None) if args.quiet else print,
+        )
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    if stats.drained or args.max_jobs is not None:
+        return 0
+    counts = campaign.status_counts()
+    total = len(campaign.unique_jobs())
+    return 0 if counts.get("done", 0) == total else 1
+
+
+def _cmd_serve(args) -> int:
+    from repro.campaign.service import DEFAULT_PORT, serve
+
+    runtime = _runtime(args) if args.cache_dir else None
+    serve(
+        host=args.host,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        root=args.root,
+        runtime=runtime,
+    )
+    return 0
 
 
 def _cmd_export(args) -> int:
@@ -195,8 +371,11 @@ def _cmd_export(args) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "create": _cmd_create,
     "status": _cmd_status,
     "resume": _cmd_resume,
+    "worker": _cmd_worker,
+    "serve": _cmd_serve,
     "export": _cmd_export,
 }
 
@@ -205,7 +384,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (SpecError, CampaignError, KeyError) as error:
+    except (SpecError, CampaignError, JobStoreError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

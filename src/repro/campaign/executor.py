@@ -31,7 +31,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.campaign.ledger import Ledger, LEDGER_NAME, JobState, status_counts
+from repro.campaign.ledger import JobState, status_counts
+from repro.campaign.jobstore import make_store, resolve_backend
 from repro.campaign.spec import CampaignJob, CampaignSpec, expand, unique_jobs
 from repro.runtime import JobExecutionError, config_fingerprint, execute_job, get_runtime
 from repro.sim.results import SimResult
@@ -63,58 +64,82 @@ def default_directory(spec: CampaignSpec, store_root=None) -> Path:
     return campaigns_root(store_root) / f"{spec.name}-{spec.fingerprint()[:12]}"
 
 
-def _write_json_atomic(path: Path, payload: Dict) -> None:
+def _write_json_exclusive(path: Path, payload: Dict) -> None:
+    """Atomically create ``path`` with ``payload``, failing if it exists.
+
+    The content is staged in a temp file and **linked** into place:
+    ``os.link`` is both atomic (readers never see a partial file) and
+    exclusive (it raises :class:`FileExistsError` if the target already
+    exists), which closes the check-then-write race two concurrent
+    creators would otherwise hit.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     descriptor, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
     try:
         with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
-        os.replace(tmp_name, path)
-    except BaseException:
+        os.link(tmp_name, path)
+    finally:
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
-        raise
 
 
 class Campaign:
-    """A spec bound to its on-disk directory (snapshot + ledger)."""
+    """A spec bound to its on-disk directory (snapshot + ledger/job store).
 
-    def __init__(self, directory, spec: CampaignSpec):
+    ``backend`` picks the status journal: ``"jsonl"`` (the default
+    append-only :class:`~repro.campaign.ledger.Ledger`) or ``"sqlite"``
+    (the multi-worker :class:`~repro.campaign.jobstore.SqliteJobStore`
+    with lease-based claims).  Resolution order: explicit argument,
+    ``$REPRO_CAMPAIGN_BACKEND``, auto-detection of an existing
+    ``jobs.sqlite``, then jsonl.
+    """
+
+    def __init__(self, directory, spec: CampaignSpec, backend: Optional[str] = None):
         self.directory = Path(directory)
         self.spec = spec
+        self.backend = resolve_backend(backend, self.directory)
         self._jobs: Optional[List[CampaignJob]] = None
 
     # -- open/create ----------------------------------------------------------
 
     @classmethod
-    def create(cls, spec: CampaignSpec, directory=None) -> "Campaign":
+    def create(cls, spec: CampaignSpec, directory=None, backend=None) -> "Campaign":
         """Bind ``spec`` to ``directory``, writing the snapshot on first use.
 
         Reopening an existing directory with a *different* spec is an
-        error — the ledger would silently describe the wrong grid.
+        error — the ledger would silently describe the wrong grid.  The
+        snapshot is created exclusively (hard-link rename), so when two
+        creators race, exactly one writes it; the loser re-validates the
+        winner's fingerprint and either adopts the directory or fails.
         """
         directory = Path(directory) if directory is not None else default_directory(spec)
         spec_path = directory / SPEC_FILE
-        if spec_path.is_file():
-            existing = cls.open(directory)
+        try:
+            _write_json_exclusive(
+                spec_path,
+                {"fingerprint": spec.fingerprint(), "spec": spec.to_dict()},
+            )
+        except FileExistsError:
+            existing = cls.open(directory, backend=backend)
             if existing.spec.fingerprint() != spec.fingerprint():
                 raise CampaignError(
                     f"campaign directory {directory} already holds campaign "
                     f"{existing.spec.name!r} with a different spec "
                     f"(fingerprint {existing.spec.fingerprint()[:12]} != "
                     f"{spec.fingerprint()[:12]}); pick another --dir or delete it"
-                )
+                ) from None
             return existing
-        _write_json_atomic(
-            spec_path,
-            {"fingerprint": spec.fingerprint(), "spec": spec.to_dict()},
-        )
-        return cls(directory, spec)
+        campaign = cls(directory, spec, backend=backend)
+        # Materialize the store now so later open() calls auto-detect
+        # the same backend this campaign was created on.
+        campaign.ledger.initialize()
+        return campaign
 
     @classmethod
-    def open(cls, directory) -> "Campaign":
+    def open(cls, directory, backend=None) -> "Campaign":
         directory = Path(directory)
         spec_path = directory / SPEC_FILE
         try:
@@ -127,13 +152,14 @@ class Campaign:
             ) from None
         except (OSError, json.JSONDecodeError) as exc:
             raise CampaignError(f"unreadable campaign snapshot {spec_path}: {exc}") from exc
-        return cls(directory, CampaignSpec.from_dict(payload["spec"]))
+        return cls(directory, CampaignSpec.from_dict(payload["spec"]), backend=backend)
 
     # -- derived views --------------------------------------------------------
 
     @property
-    def ledger(self) -> Ledger:
-        return Ledger(self.directory / LEDGER_NAME)
+    def ledger(self):
+        """The status journal on this campaign's backend (Ledger-compatible)."""
+        return make_store(self.directory, self.backend)
 
     def jobs(self) -> List[CampaignJob]:
         """Full deterministic expansion (duplicates included)."""

@@ -1,0 +1,407 @@
+"""SQLite-backed job store: the ledger contract plus worker leases.
+
+The JSONL :class:`~repro.campaign.ledger.Ledger` is a journal — perfect
+for one executor appending history, useless for N workers racing to
+*claim* work.  This module keeps the journal (an append-only ``records``
+table folded by the exact same :func:`~repro.campaign.ledger.fold_records`
+logic) and adds the coordination the ROADMAP's multi-worker campaign
+execution needs, PyExperimenter-style: jobs are rows in one shared
+WAL-mode SQLite database (``jobs.sqlite`` in the campaign directory),
+and any number of worker processes — on any machine that can reach the
+file — pull open jobs from it.
+
+The claim protocol:
+
+* :meth:`SqliteJobStore.claim` atomically (``BEGIN IMMEDIATE``) picks
+  the first claimable job in enqueue order — ``pending``, ``running``
+  with an **expired lease**, or ``failed`` with attempts to spare —
+  stamps it ``(worker_id, lease_expires)`` and journals the ``running``
+  record.  Two workers can never claim the same job at once.
+* While simulating, the worker renews its lease via
+  :meth:`SqliteJobStore.heartbeat`.  A worker that is SIGKILL'd simply
+  stops heartbeating; once its lease expires the job is claimable again
+  and the campaign loses nothing.
+* :meth:`SqliteJobStore.append` journals ``done``/``failed`` (releasing
+  the lease) and keeps the per-job current-state row in step, so the
+  store also works as a drop-in ledger backend for the single-process
+  :class:`~repro.campaign.executor.CampaignRunner`.
+
+Backend selection (``jsonl`` stays the default) is a knob: the
+``--backend`` CLI flag, then ``$REPRO_CAMPAIGN_BACKEND``, then
+auto-detection — a campaign directory that already holds ``jobs.sqlite``
+reopens on the sqlite backend, so ``status``/``export`` need no flag.
+
+Determinism contract: fold semantics, job keys and the result store are
+identical across backends, so an interrupted-then-resumed multi-worker
+sqlite campaign exports byte-for-byte what a single-process JSONL run
+exports (CI's ``distributed-smoke`` job asserts this with ``cmp``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from contextlib import closing
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.campaign.ledger import (
+    LEDGER_NAME,
+    JobState,
+    Ledger,
+    fold_records,
+)
+
+DB_NAME = "jobs.sqlite"
+
+BACKENDS = ("jsonl", "sqlite")
+
+# Lease granted to a claim (seconds) unless the claimer says otherwise.
+# Workers heartbeat at a fraction of this, so only a dead worker ever
+# lets it lapse.
+DEFAULT_LEASE = 60.0
+
+_SCHEMA = (
+    """
+    CREATE TABLE IF NOT EXISTS records (
+        id INTEGER PRIMARY KEY AUTOINCREMENT,
+        record TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS jobs (
+        seq INTEGER PRIMARY KEY AUTOINCREMENT,
+        key TEXT NOT NULL UNIQUE,
+        state TEXT NOT NULL DEFAULT 'pending',
+        attempts INTEGER NOT NULL DEFAULT 0,
+        worker TEXT,
+        lease_expires REAL,
+        meta TEXT
+    )
+    """,
+)
+
+
+class JobStoreError(RuntimeError):
+    """A job-store-level failure (bad backend name, claim misuse, ...)."""
+
+
+def resolve_backend(backend: Optional[str] = None, directory=None) -> str:
+    """Pick the campaign backend: explicit > env > detection > jsonl.
+
+    Detection means: a directory that already holds ``jobs.sqlite``
+    reopens as sqlite, so read-only commands (status/export) follow the
+    backend the campaign actually ran on without needing a flag.
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_CAMPAIGN_BACKEND") or None
+    if backend is None and directory is not None:
+        if (Path(directory) / DB_NAME).is_file():
+            backend = "sqlite"
+    backend = backend or "jsonl"
+    if backend not in BACKENDS:
+        raise JobStoreError(
+            f"unknown campaign backend {backend!r}; "
+            f"known backends: {', '.join(BACKENDS)}"
+        )
+    return backend
+
+
+def make_store(directory, backend: Optional[str] = None):
+    """The ledger/job-store for a campaign directory on a given backend."""
+    directory = Path(directory)
+    backend = resolve_backend(backend, directory)
+    if backend == "sqlite":
+        return SqliteJobStore(directory / DB_NAME)
+    return Ledger(directory / LEDGER_NAME)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One successful claim: the job, which attempt this is, its lease."""
+
+    key: str
+    attempt: int
+    lease_expires: float
+    meta: Dict
+
+
+class SqliteJobStore:
+    """Shared WAL-mode job store implementing the ledger contract + leases.
+
+    Every public method opens a short-lived connection, so one store
+    object is safe to use from any thread (the heartbeat thread included)
+    and any number of processes share the database through SQLite's own
+    locking.  ``lease`` is the default lease duration granted to claims
+    and to ``running`` records appended by non-claiming executors.
+    """
+
+    def __init__(self, path, lease: float = DEFAULT_LEASE):
+        self.path = Path(path)
+        self.lease = float(lease)
+
+    # -- connection plumbing --------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(str(self.path), timeout=30.0)
+        conn.isolation_level = None  # explicit transactions only
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA busy_timeout=30000")
+        for statement in _SCHEMA:
+            conn.execute(statement)
+        return conn
+
+    # -- ledger contract ------------------------------------------------------
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def initialize(self) -> None:
+        """Create the database and schema (so backend detection sticks)."""
+        with closing(self._connect()):
+            pass
+
+    def clear(self) -> None:
+        """Discard the store, including WAL sidecar files (``--fresh``)."""
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(f"{self.path}{suffix}")
+            except FileNotFoundError:
+                pass
+
+    def append(self, record: Dict) -> None:
+        """Journal one state transition and update the job's current row.
+
+        Same record shape as :meth:`Ledger.append` takes, so the
+        executor drives either backend through one code path.
+        """
+        record = dict(record)
+        record.setdefault("ts", time.time())
+        with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._journal(conn, record)
+                self._apply(conn, record)
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+
+    def records(self) -> List[Dict]:
+        """All journal records, in append order."""
+        if not self.exists():
+            return []
+        with closing(self._connect()) as conn:
+            rows = conn.execute("SELECT record FROM records ORDER BY id").fetchall()
+        records = []
+        for (text,) in rows:
+            try:
+                record = json.loads(text)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "key" in record and "status" in record:
+                records.append(record)
+        return records
+
+    def fold(self) -> Dict[str, JobState]:
+        """Journal fold (ledger semantics) overlaid with live lease info.
+
+        A job whose last record is ``running`` folds to ``interrupted``
+        in the journal; if its lease is still live some worker is
+        actually on it, so the fold reports it ``running`` instead.
+        Once the lease expires it goes back to ``interrupted`` (treated
+        like ``pending`` by resume/claim), which is exactly the
+        crash-reclaim promise.
+        """
+        states = fold_records(self.records())
+        now = time.time()
+        if not self.exists():
+            return states
+        with closing(self._connect()) as conn:
+            rows = conn.execute(
+                "SELECT key, lease_expires FROM jobs WHERE state = 'running'"
+            ).fetchall()
+        for key, lease_expires in rows:
+            state = states.get(key)
+            if (
+                state is not None
+                and state.status == "interrupted"
+                and lease_expires is not None
+                and lease_expires > now
+            ):
+                state.status = "running"
+        return states
+
+    # -- journal/row helpers --------------------------------------------------
+
+    def _journal(self, conn: sqlite3.Connection, record: Dict) -> None:
+        conn.execute(
+            "INSERT INTO records (record) VALUES (?)",
+            (json.dumps(record, sort_keys=True),),
+        )
+
+    def _apply(self, conn: sqlite3.Connection, record: Dict) -> None:
+        key = record["key"]
+        status = record["status"]
+        meta = json.dumps(record["job"], sort_keys=True) if record.get("job") else None
+        conn.execute(
+            "INSERT OR IGNORE INTO jobs (key, state, meta) VALUES (?, 'pending', ?)",
+            (key, meta),
+        )
+        if status == "running":
+            conn.execute(
+                "UPDATE jobs SET state = 'running', attempts = attempts + 1, "
+                "worker = ?, lease_expires = ?, meta = COALESCE(?, meta) "
+                "WHERE key = ?",
+                (record.get("worker"), time.time() + self.lease, meta, key),
+            )
+        elif status in ("done", "failed"):
+            conn.execute(
+                "UPDATE jobs SET state = ?, lease_expires = NULL, "
+                "meta = COALESCE(?, meta) WHERE key = ?",
+                (status, meta, key),
+            )
+
+    # -- the worker-facing surface --------------------------------------------
+
+    def ensure_jobs(self, jobs: Sequence[Tuple[str, Optional[Dict]]]) -> int:
+        """Idempotently enqueue ``(key, meta)`` pairs in expansion order.
+
+        Returns how many rows were newly inserted.  Keys already present
+        (enqueued by another worker, or already journaled) are left
+        untouched, so every worker can enqueue the full expansion on
+        startup without perturbing in-flight state.
+        """
+        with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                inserted = 0
+                for key, meta in jobs:
+                    cursor = conn.execute(
+                        "INSERT OR IGNORE INTO jobs (key, state, meta) "
+                        "VALUES (?, 'pending', ?)",
+                        (key, json.dumps(meta, sort_keys=True) if meta else None),
+                    )
+                    inserted += cursor.rowcount
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            return inserted
+
+    def claim(
+        self,
+        worker_id: str,
+        lease: Optional[float] = None,
+        max_attempts: int = 1,
+    ) -> Optional[Claim]:
+        """Atomically claim the next open job, or None if nothing is open.
+
+        Open means ``pending``, ``running`` with an expired lease (a
+        dead worker's job, reclaimed), or ``failed`` with fewer than
+        ``max_attempts`` attempts so far.  The claim bumps the attempt
+        count, stamps ``(worker_id, lease_expires)`` and journals the
+        ``running`` record in the same transaction.
+        """
+        lease = self.lease if lease is None else float(lease)
+        now = time.time()
+        with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = conn.execute(
+                    "SELECT key, attempts, meta FROM jobs WHERE "
+                    "state = 'pending' "
+                    "OR (state = 'running' AND lease_expires IS NOT NULL "
+                    "    AND lease_expires < ?) "
+                    "OR (state = 'failed' AND attempts < ?) "
+                    "ORDER BY seq LIMIT 1",
+                    (now, int(max_attempts)),
+                ).fetchone()
+                if row is None:
+                    conn.execute("COMMIT")
+                    return None
+                key, attempts, meta_text = row
+                attempt = attempts + 1
+                expires = now + lease
+                conn.execute(
+                    "UPDATE jobs SET state = 'running', attempts = ?, "
+                    "worker = ?, lease_expires = ? WHERE key = ?",
+                    (attempt, worker_id, expires, key),
+                )
+                meta = json.loads(meta_text) if meta_text else {}
+                record = {
+                    "ts": now,
+                    "key": key,
+                    "status": "running",
+                    "attempt": attempt,
+                    "worker": worker_id,
+                }
+                if meta:
+                    record["job"] = meta
+                self._journal(conn, record)
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            return Claim(key=key, attempt=attempt, lease_expires=expires, meta=meta)
+
+    def heartbeat(
+        self, key: str, worker_id: str, lease: Optional[float] = None
+    ) -> bool:
+        """Renew a held lease; False if the job is no longer this worker's.
+
+        A False return means the lease already expired and someone else
+        reclaimed the job (or it finished) — the caller should treat its
+        own work as a duplicate (harmless: simulations are deterministic
+        and results content-addressed) and move on.
+        """
+        lease = self.lease if lease is None else float(lease)
+        with closing(self._connect()) as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET lease_expires = ? "
+                "WHERE key = ? AND worker = ? AND state = 'running'",
+                (time.time() + lease, key, worker_id),
+            )
+            return cursor.rowcount == 1
+
+    def unfinished(self, max_attempts: int = 1) -> int:
+        """Jobs that are not yet terminal: pending, in flight, or retryable.
+
+        Workers exit when this reaches zero — a ``failed`` job whose
+        attempts are exhausted is terminal and keeps nobody waiting.
+        """
+        if not self.exists():
+            return 0
+        with closing(self._connect()) as conn:
+            (count,) = conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE "
+                "state = 'pending' OR state = 'running' "
+                "OR (state = 'failed' AND attempts < ?)",
+                (int(max_attempts),),
+            ).fetchone()
+        return count
+
+    def job_rows(self) -> List[Dict]:
+        """Current per-job rows (state, attempts, worker, lease), in order."""
+        if not self.exists():
+            return []
+        with closing(self._connect()) as conn:
+            rows = conn.execute(
+                "SELECT key, state, attempts, worker, lease_expires "
+                "FROM jobs ORDER BY seq"
+            ).fetchall()
+        return [
+            {
+                "key": key,
+                "state": state,
+                "attempts": attempts,
+                "worker": worker,
+                "lease_expires": lease_expires,
+            }
+            for key, state, attempts, worker, lease_expires in rows
+        ]

@@ -12,15 +12,30 @@ Jobs are keyed by their :class:`~repro.runtime.SimJob` content hash, the
 same key the result store uses, which is what lets ``resume`` trust a
 ``done`` record: the result it promises is addressable in the store.
 
+Concurrency: every record is written with a **single** ``write(2)`` on
+an ``O_APPEND`` descriptor, so concurrent appends from multiple worker
+processes sharing one ledger file land whole — POSIX serializes the
+offset update and the data for append-mode writes, and a record is never
+interleaved mid-line with another writer's.  Records are also prefixed
+with a newline once the file is non-empty, so a torn trailing line from
+a crashed writer can never glue itself onto the next record (blank lines
+are skipped on read).  ``$REPRO_LEDGER_FSYNC=1`` (or ``fsync=True``)
+additionally fsyncs each append for power-loss durability.
+
 Crash behaviour: a process killed mid-job leaves that job's last record
 at ``running``.  The fold reports such jobs as ``interrupted`` and the
 executor treats them exactly like ``pending`` — they re-run on resume.
 Truncated/corrupt trailing lines (a crash mid-append) are skipped.
+
+The fold logic is shared with the SQLite job store
+(:mod:`repro.campaign.jobstore`) via :func:`fold_records`, so both
+backends agree on what a record history *means* by construction.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -47,22 +62,103 @@ class JobState:
     meta: Dict = field(default_factory=dict)
 
 
-class Ledger:
-    """Append-only JSONL status journal, single-writer per campaign run."""
+def fold_records(records: Iterable[Dict]) -> Dict[str, JobState]:
+    """Current state per job key: replay records, last status wins.
 
-    def __init__(self, path):
+    Shared by the JSONL ledger and the SQLite job store so both
+    backends fold identical histories to identical states.
+    """
+    states: Dict[str, JobState] = {}
+    for record in records:
+        key = record["key"]
+        state = states.setdefault(key, JobState(key))
+        status = record["status"]
+        if status == "running":
+            state.status = "interrupted"  # until a done/failed follows
+            state.attempts += 1
+            state.worker = record.get("worker")
+            state.error = None
+        elif status in ("done", "failed"):
+            state.status = status
+            state.error = record.get("error")
+            state.elapsed = record.get("elapsed")
+            state.worker = record.get("worker", state.worker)
+            state.cached = bool(record.get("cached", False))
+        if record.get("job"):
+            state.meta = record["job"]
+    return states
+
+
+def parse_record(line: str) -> Optional[Dict]:
+    """One ledger line → record dict, or None for blank/torn/foreign lines."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None  # torn write from a crash mid-append
+    if isinstance(record, dict) and "key" in record and "status" in record:
+        return record
+    return None
+
+
+def _resolve_fsync(fsync: Optional[bool]) -> bool:
+    if fsync is not None:
+        return bool(fsync)
+    return os.environ.get("REPRO_LEDGER_FSYNC", "0").strip().lower() in {
+        "1",
+        "on",
+        "true",
+        "yes",
+    }
+
+
+class Ledger:
+    """Append-only JSONL status journal; multi-writer safe appends."""
+
+    def __init__(self, path, fsync: Optional[bool] = None):
         self.path = Path(path)
+        self.fsync = _resolve_fsync(fsync)
 
     def exists(self) -> bool:
         return self.path.is_file()
 
+    def initialize(self) -> None:
+        """Nothing to pre-create for JSONL; the first append makes the file."""
+
+    def clear(self) -> None:
+        """Discard the journal (``run --fresh``)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
     def append(self, record: Dict) -> None:
+        """Append one record as a single ``O_APPEND`` write syscall.
+
+        One write per record is what makes a shared ledger safe for
+        concurrent worker processes: append-mode writes are atomic with
+        respect to the file offset, so records never interleave
+        mid-line.  A leading newline (once the file is non-empty) keeps
+        a torn trailing line from a crashed writer from corrupting this
+        record too — readers skip blank lines.
+        """
         record = dict(record)
         record.setdefault("ts", time.time())
+        data = json.dumps(record, sort_keys=True).encode("utf-8") + b"\n"
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
+        descriptor = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            if os.fstat(descriptor).st_size > 0:
+                data = b"\n" + data
+            os.write(descriptor, data)
+            if self.fsync:
+                os.fsync(descriptor)
+        finally:
+            os.close(descriptor)
 
     def records(self) -> List[Dict]:
         """All parseable records, in append order."""
@@ -73,38 +169,14 @@ class Ledger:
             return []
         records = []
         for line in lines:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn write from a crash mid-append
-            if isinstance(record, dict) and "key" in record and "status" in record:
+            record = parse_record(line)
+            if record is not None:
                 records.append(record)
         return records
 
     def fold(self) -> Dict[str, JobState]:
         """Current state per job key: replay records, last status wins."""
-        states: Dict[str, JobState] = {}
-        for record in self.records():
-            key = record["key"]
-            state = states.setdefault(key, JobState(key))
-            status = record["status"]
-            if status == "running":
-                state.status = "interrupted"  # until a done/failed follows
-                state.attempts += 1
-                state.worker = record.get("worker")
-                state.error = None
-            elif status in ("done", "failed"):
-                state.status = status
-                state.error = record.get("error")
-                state.elapsed = record.get("elapsed")
-                state.worker = record.get("worker", state.worker)
-                state.cached = bool(record.get("cached", False))
-            if record.get("job"):
-                state.meta = record["job"]
-        return states
+        return fold_records(self.records())
 
 
 def status_counts(states: Iterable[JobState]) -> Dict[str, int]:

@@ -132,10 +132,17 @@ def execute_job(job: SimJob) -> SimResult:
 
 def _resolve_jobs(jobs: Optional[int]) -> int:
     if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "1").strip()
         try:
-            jobs = int(os.environ.get("REPRO_JOBS", "1"))
+            jobs = int(raw)
         except ValueError:
-            jobs = 1
+            # Fail loudly, mirroring Scale.from_env: a typo'd
+            # REPRO_JOBS=1O silently serializing a whole campaign is
+            # far worse than dying at startup.
+            raise ValueError(
+                f"$REPRO_JOBS must be an integer worker count "
+                f"(0 = one per CPU core), got {raw!r}"
+            ) from None
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     return jobs
@@ -209,9 +216,13 @@ class Runtime:
         except JobExecutionError as error:
             # Report which member of the batch died; the whole batch is
             # abandoned here (the campaign executor is the fault-isolated
-            # path that lets siblings finish).
-            error.add_note(
-                f"while running a batch of {len(jobs)} jobs; "
+            # path that lets siblings finish).  Folded into the message
+            # rather than BaseException.add_note: that API is 3.11+ and
+            # this package declares 3.9 support — and unlike a note, the
+            # message also reaches ledgers that record str(error).
+            error.traceback_text = (
+                error.traceback_text.rstrip()
+                + f"\nwhile running a batch of {len(jobs)} jobs; "
                 "the rest of the batch was abandoned"
             )
             raise

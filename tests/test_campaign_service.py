@@ -1,0 +1,244 @@
+"""The JSON-over-HTTP campaign service: submit a spec, run workers,
+poll status, pull the deterministic export — plus input validation
+(bad bodies, unknown ids, traversal attempts).
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import runtime
+from repro.campaign import Campaign, CampaignRunner, CampaignSpec, run_worker
+from repro.campaign.report import export
+from repro.campaign.service import (
+    CampaignService,
+    ServiceError,
+    _campaign_id,
+    make_server,
+)
+
+
+def small_spec_dict(name="svc", accesses=250):
+    return CampaignSpec.build(
+        name,
+        [["swim", "art"]],
+        ["demand-first", "padc"],
+        accesses,
+        include_alone=False,
+    ).to_dict()
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A live service on an ephemeral port, rooted in tmp_path."""
+    import threading
+
+    executor = runtime.configure(jobs=1, cache_dir=str(tmp_path / "cache"))
+    httpd = make_server(host="127.0.0.1", port=0, root=tmp_path / "campaigns",
+                        runtime=executor)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", executor
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=5)
+
+
+def request(url, payload=None, method=None):
+    """(status, parsed-or-text body) for one HTTP call."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=30) as response:
+            body = response.read().decode()
+            status = response.status
+            content_type = response.headers.get("Content-Type", "")
+    except urllib.error.HTTPError as error:
+        body = error.read().decode()
+        status = error.code
+        content_type = error.headers.get("Content-Type", "")
+    if content_type.startswith("application/json"):
+        return status, json.loads(body)
+    return status, body
+
+
+class TestServiceEndpoints:
+    def test_healthz(self, server):
+        base, _ = server
+        status, body = request(f"{base}/healthz")
+        assert status == 200
+        assert body["ok"] is True
+
+    def test_submit_poll_work_export_roundtrip(self, server, tmp_path):
+        base, executor = server
+        status, created = request(
+            f"{base}/campaigns", payload={"spec": small_spec_dict()}, method="POST"
+        )
+        assert status == 201, created
+        assert created["backend"] == "sqlite"  # the service default
+        assert created["jobs"] == 2
+        campaign_id = created["id"]
+
+        status, body = request(f"{base}/campaigns/{campaign_id}/status")
+        assert status == 200
+        assert body["counts"]["pending"] == 2
+        assert not body["complete"]
+
+        # A worker drains the submitted campaign out-of-band.
+        campaign = Campaign.open(created["directory"])
+        stats = run_worker(campaign, runtime=executor, worker_id="w1", poll=0.05)
+        assert stats.done == 2
+
+        status, body = request(f"{base}/campaigns/{campaign_id}/status")
+        assert status == 200
+        assert body["complete"]
+        assert body["counts"]["done"] == 2
+
+        status, listing = request(f"{base}/campaigns")
+        assert status == 200
+        assert [entry["id"] for entry in listing["campaigns"]] == [campaign_id]
+
+        # The HTTP export is the same bytes the library produces.
+        status, csv_text = request(
+            f"{base}/campaigns/{campaign_id}/export?format=csv"
+        )
+        assert status == 200
+        assert csv_text == export(campaign, executor.store, fmt="csv")
+        status, json_rows = request(
+            f"{base}/campaigns/{campaign_id}/export?format=json"
+        )
+        assert status == 200
+        assert json_rows == json.loads(export(campaign, executor.store, fmt="json"))
+
+    def test_repost_same_spec_is_idempotent(self, server):
+        base, _ = server
+        payload = {"spec": small_spec_dict()}
+        status1, first = request(f"{base}/campaigns", payload=payload, method="POST")
+        status2, second = request(f"{base}/campaigns", payload=payload, method="POST")
+        assert status1 == status2 == 201
+        assert first["id"] == second["id"]
+        assert first["fingerprint"] == second["fingerprint"]
+
+    def test_different_spec_same_directory_conflicts(self, server):
+        base, _ = server
+        status, _ = request(
+            f"{base}/campaigns",
+            payload={"spec": small_spec_dict(), "directory": "pinned"},
+            method="POST",
+        )
+        assert status == 201
+        status, body = request(
+            f"{base}/campaigns",
+            payload={"spec": small_spec_dict(accesses=999), "directory": "pinned"},
+            method="POST",
+        )
+        assert status == 409
+        assert "different spec" in body["error"]
+
+    def test_bare_spec_body_accepted(self, server):
+        base, _ = server
+        status, created = request(
+            f"{base}/campaigns", payload=small_spec_dict("bare"), method="POST"
+        )
+        assert status == 201
+        assert created["name"] == "bare"
+
+
+class TestServiceValidation:
+    def test_invalid_spec_is_400(self, server):
+        base, _ = server
+        status, body = request(
+            f"{base}/campaigns",
+            payload={"spec": {"name": "x"}},  # missing required fields
+            method="POST",
+        )
+        assert status == 400
+        assert "error" in body
+
+    def test_non_json_body_is_400(self, server):
+        base, _ = server
+        req = urllib.request.Request(
+            f"{base}/campaigns", data=b"not json{", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_unknown_campaign_is_404(self, server):
+        base, _ = server
+        status, body = request(f"{base}/campaigns/no-such-campaign/status")
+        assert status == 404
+        status, body = request(f"{base}/campaigns/no-such-campaign/export")
+        assert status == 404
+
+    def test_unknown_endpoint_is_404(self, server):
+        base, _ = server
+        status, _ = request(f"{base}/nope")
+        assert status == 404
+
+    def test_bad_export_format_is_400(self, server, tmp_path):
+        base, executor = server
+        _, created = request(
+            f"{base}/campaigns", payload={"spec": small_spec_dict()}, method="POST"
+        )
+        status, body = request(
+            f"{base}/campaigns/{created['id']}/export?format=xml"
+        )
+        assert status == 400
+        assert "xml" in body["error"]
+
+    def test_traversal_ids_rejected(self):
+        for raw in ("", ".", "..", "a/b", "a\\b", "../etc"):
+            with pytest.raises(ServiceError) as excinfo:
+                _campaign_id(raw)
+            assert excinfo.value.status == 400
+        assert _campaign_id("smoke-abc123") == "smoke-abc123"
+
+    def test_unknown_backend_is_400(self, server):
+        base, _ = server
+        status, body = request(
+            f"{base}/campaigns",
+            payload={"spec": small_spec_dict(), "backend": "postgres"},
+            method="POST",
+        )
+        assert status == 400
+        assert "postgres" in body["error"]
+
+
+class TestServiceObject:
+    """CampaignService handlers directly (no HTTP), for the error paths."""
+
+    def test_non_dict_body_rejected(self, tmp_path):
+        service = CampaignService(root=tmp_path)
+        with pytest.raises(ServiceError) as excinfo:
+            service.create_campaign(["not", "a", "dict"])
+        assert excinfo.value.status == 400
+
+    def test_list_skips_non_campaign_dirs(self, tmp_path):
+        service = CampaignService(root=tmp_path)
+        (tmp_path / "stray").mkdir(parents=True)
+        (tmp_path / "stray" / "notes.txt").write_text("not a campaign")
+        assert service.list_campaigns() == {"campaigns": []}
+
+    def test_service_export_matches_jsonl_runner(self, tmp_path):
+        """The service path (sqlite) exports what a local jsonl run does."""
+        executor = runtime.configure(jobs=1, cache_dir=str(tmp_path / "cache"))
+        service = CampaignService(root=tmp_path / "campaigns", runtime=executor)
+        created = service.create_campaign({"spec": small_spec_dict()})
+        campaign = Campaign.open(created["directory"])
+        run_worker(campaign, runtime=executor, worker_id="w1", poll=0.05)
+        text, content_type = service.export(created["id"], "csv")
+        assert content_type == "text/csv"
+
+        spec = CampaignSpec.from_dict(small_spec_dict())
+        baseline_rt = runtime.configure(jobs=1, cache_dir=str(tmp_path / "cache2"))
+        baseline = Campaign.create(spec, tmp_path / "baseline")
+        CampaignRunner(baseline, runtime=baseline_rt).run()
+        assert text == export(baseline, baseline_rt.store, fmt="csv")

@@ -1,0 +1,531 @@
+"""SQLite job store + worker tests: the ledger contract on WAL SQLite,
+atomic lease-based claims, heartbeat renewal, crash reclaim (including a
+real SIGKILL'd worker subprocess), concurrent creators, multi-writer
+JSONL appends, and jsonl-vs-sqlite export byte-equality.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import runtime
+from repro.campaign import (
+    Campaign,
+    CampaignError,
+    CampaignRunner,
+    CampaignSpec,
+    JobStoreError,
+    Ledger,
+    SqliteJobStore,
+    make_store,
+    resolve_backend,
+    run_worker,
+)
+from repro.campaign.jobstore import DB_NAME
+from repro.campaign.report import export
+from repro.campaign.worker import job_meta
+
+POLICIES = ("demand-first", "padc")
+
+
+def small_spec(name="dist", accesses=250, **kwargs):
+    kwargs.setdefault("include_alone", False)
+    return CampaignSpec.build(
+        name,
+        [["swim", "art"], ["libquantum", "milc"]],
+        POLICIES,
+        accesses,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SqliteJobStore(tmp_path / DB_NAME, lease=30.0)
+
+
+class TestLedgerContractParity:
+    """Identical record histories fold identically on both backends."""
+
+    HISTORY = [
+        {"key": "k1", "status": "running", "attempt": 1, "worker": "w1"},
+        {"key": "k1", "status": "failed", "attempt": 1, "error": "boom"},
+        {"key": "k1", "status": "running", "attempt": 2, "worker": "w2"},
+        {"key": "k1", "status": "done", "attempt": 2, "elapsed": 0.5, "cached": False,
+         "job": {"policy": "padc"}},
+        {"key": "k2", "status": "running", "attempt": 1, "worker": "w1"},
+    ]
+
+    def test_fold_matches_jsonl(self, tmp_path):
+        ledger = Ledger(tmp_path / "ledger.jsonl")
+        # lease=0 so the running record's executor-granted lease is born
+        # expired: this compares pure journal-fold semantics, without the
+        # sqlite fold's live-lease overlay (tested separately below).
+        store = SqliteJobStore(tmp_path / DB_NAME, lease=0.0)
+        for record in self.HISTORY:
+            ledger.append(dict(record))
+            store.append(dict(record))
+        jsonl_fold = ledger.fold()
+        sqlite_fold = store.fold()
+        assert set(jsonl_fold) == set(sqlite_fold) == {"k1", "k2"}
+        for key in jsonl_fold:
+            assert jsonl_fold[key] == sqlite_fold[key]
+        assert sqlite_fold["k1"].status == "done"
+        assert sqlite_fold["k1"].attempts == 2
+        assert sqlite_fold["k1"].meta == {"policy": "padc"}
+
+    def test_records_preserve_append_order(self, store):
+        for record in self.HISTORY:
+            store.append(dict(record))
+        keys = [(r["key"], r["status"]) for r in store.records()]
+        assert keys == [(r["key"], r["status"]) for r in self.HISTORY]
+
+    def test_interrupted_with_live_lease_shows_running(self, store):
+        store.ensure_jobs([("k1", None)])
+        claim = store.claim("w1", lease=30.0)
+        assert claim.key == "k1"
+        # Journal fold alone would say interrupted; the live lease says
+        # a worker is actually on it.
+        assert store.fold()["k1"].status == "running"
+
+    def test_interrupted_with_expired_lease_shows_interrupted(self, store):
+        store.ensure_jobs([("k1", None)])
+        store.claim("w1", lease=0.01)
+        time.sleep(0.05)
+        assert store.fold()["k1"].status == "interrupted"
+
+    def test_clear_removes_wal_sidecars(self, store):
+        store.append({"key": "k1", "status": "done"})
+        assert store.exists()
+        store.clear()
+        assert not store.exists()
+        assert not list(store.path.parent.glob(f"{DB_NAME}*"))
+
+
+class TestClaims:
+    def test_claim_order_is_enqueue_order(self, store):
+        store.ensure_jobs([("a", None), ("b", None), ("c", None)])
+        assert store.claim("w1").key == "a"
+        assert store.claim("w1").key == "b"
+        assert store.claim("w2").key == "c"
+        assert store.claim("w2") is None
+
+    def test_enqueue_is_idempotent(self, store):
+        assert store.ensure_jobs([("a", None), ("b", None)]) == 2
+        assert store.ensure_jobs([("a", None), ("b", None), ("c", None)]) == 1
+
+    def test_done_job_is_not_claimable(self, store):
+        store.ensure_jobs([("a", None)])
+        claim = store.claim("w1")
+        store.append({"key": "a", "status": "done", "attempt": claim.attempt})
+        assert store.claim("w2") is None
+        assert store.unfinished() == 0
+
+    def test_running_job_with_live_lease_is_not_claimable(self, store):
+        store.ensure_jobs([("a", None)])
+        store.claim("w1", lease=30.0)
+        assert store.claim("w2") is None
+        assert store.unfinished() == 1  # in flight, so a sibling waits
+
+    def test_expired_lease_is_reclaimed(self, store):
+        store.ensure_jobs([("a", None)])
+        first = store.claim("w1", lease=0.01)
+        time.sleep(0.05)
+        second = store.claim("w2", lease=30.0)
+        assert second is not None
+        assert second.key == "a"
+        assert second.attempt == first.attempt + 1
+        # The reclaim journaled a second running record.
+        assert store.fold()["a"].attempts == 2
+
+    def test_heartbeat_extends_lease(self, store):
+        store.ensure_jobs([("a", None)])
+        claim = store.claim("w1", lease=0.2)
+        deadline = time.time() + 1.0
+        while time.time() < deadline:
+            assert store.heartbeat("a", "w1", lease=0.2)
+            time.sleep(0.05)
+        # Despite the 0.2s lease, a second worker could never claim it.
+        assert store.claim("w2") is None
+        assert claim.lease_expires < time.time()  # original lease long gone
+
+    def test_heartbeat_from_evicted_worker_fails(self, store):
+        store.ensure_jobs([("a", None)])
+        store.claim("w1", lease=0.01)
+        time.sleep(0.05)
+        store.claim("w2", lease=30.0)
+        assert not store.heartbeat("a", "w1")
+        assert store.heartbeat("a", "w2")
+
+    def test_failed_job_retryable_within_budget(self, store):
+        store.ensure_jobs([("a", None)])
+        claim = store.claim("w1")
+        store.append(
+            {"key": "a", "status": "failed", "attempt": claim.attempt, "error": "x"}
+        )
+        assert store.claim("w1", max_attempts=1) is None  # budget exhausted
+        assert store.unfinished(max_attempts=1) == 0  # terminal
+        assert store.unfinished(max_attempts=2) == 1
+        retry = store.claim("w1", max_attempts=2)
+        assert retry is not None and retry.attempt == 2
+
+    def test_claim_meta_round_trips(self, store):
+        store.ensure_jobs([("a", {"policy": "padc", "seed": 3})])
+        claim = store.claim("w1")
+        assert claim.meta == {"policy": "padc", "seed": 3}
+
+    def test_concurrent_claims_never_collide(self, store):
+        keys = [f"k{i}" for i in range(40)]
+        store.ensure_jobs([(key, None) for key in keys])
+        claimed = []
+        lock = threading.Lock()
+
+        def drain(worker_id):
+            while True:
+                claim = store.claim(worker_id, lease=30.0)
+                if claim is None:
+                    return
+                with lock:
+                    claimed.append(claim.key)
+                store.append(
+                    {"key": claim.key, "status": "done", "attempt": claim.attempt}
+                )
+
+        threads = [
+            threading.Thread(target=drain, args=(f"w{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(claimed) == sorted(keys)  # each exactly once
+        assert store.unfinished() == 0
+
+
+class TestBackendResolution:
+    def test_default_is_jsonl(self, tmp_path):
+        assert resolve_backend(None, tmp_path) == "jsonl"
+        assert isinstance(make_store(tmp_path), Ledger)
+
+    def test_explicit_wins(self, tmp_path):
+        assert resolve_backend("sqlite", tmp_path) == "sqlite"
+        assert isinstance(make_store(tmp_path, "sqlite"), SqliteJobStore)
+
+    def test_env_knob(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_BACKEND", "sqlite")
+        assert resolve_backend(None, tmp_path) == "sqlite"
+
+    def test_existing_db_detected(self, tmp_path):
+        SqliteJobStore(tmp_path / DB_NAME).initialize()
+        assert resolve_backend(None, tmp_path) == "sqlite"
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(JobStoreError) as excinfo:
+            resolve_backend("postgres", tmp_path)
+        assert "postgres" in str(excinfo.value)
+
+    def test_campaign_create_pins_backend_for_reopen(self, tmp_path):
+        campaign = Campaign.create(small_spec(), tmp_path / "c", backend="sqlite")
+        assert campaign.backend == "sqlite"
+        # A later open with no flag/env auto-detects the database.
+        assert Campaign.open(tmp_path / "c").backend == "sqlite"
+
+
+class TestConcurrentCreate:
+    def test_racing_creators_same_spec_all_succeed(self, tmp_path):
+        spec = small_spec()
+        results, errors = [], []
+
+        def create():
+            try:
+                results.append(Campaign.create(spec, tmp_path / "c"))
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 8
+        # Exactly one snapshot, valid JSON, correct fingerprint.
+        payload = json.loads((tmp_path / "c" / "campaign.json").read_text())
+        assert payload["fingerprint"] == spec.fingerprint()
+        assert not list((tmp_path / "c").glob("*.tmp"))
+
+    def test_loser_with_different_spec_fails_loudly(self, tmp_path):
+        Campaign.create(small_spec(), tmp_path / "c")
+        with pytest.raises(CampaignError) as excinfo:
+            Campaign.create(small_spec(accesses=999), tmp_path / "c")
+        assert "different spec" in str(excinfo.value)
+
+
+class TestLedgerMultiWriter:
+    def test_torn_trailing_line_then_append_recovers(self, tmp_path):
+        """A crash mid-append must not corrupt the *next* record too."""
+        ledger = Ledger(tmp_path / "ledger.jsonl")
+        ledger.append({"key": "k1", "status": "done"})
+        with open(ledger.path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "k2", "status": "don')  # torn, no newline
+        ledger.append({"key": "k3", "status": "done"})
+        keys = [record["key"] for record in ledger.records()]
+        assert keys == ["k1", "k3"]
+        assert ledger.fold()["k3"].status == "done"
+
+    def test_concurrent_appends_never_interleave(self, tmp_path):
+        ledger = Ledger(tmp_path / "ledger.jsonl")
+        per_writer = 50
+
+        def write(worker_index):
+            for i in range(per_writer):
+                ledger.append(
+                    {
+                        "key": f"w{worker_index}-{i}",
+                        "status": "done",
+                        "payload": "x" * 256,
+                    }
+                )
+
+        threads = [threading.Thread(target=write, args=(w,)) for w in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = ledger.records()
+        assert len(records) == 6 * per_writer  # nothing torn, nothing lost
+        assert len({record["key"] for record in records}) == 6 * per_writer
+
+    def test_fsync_knob_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_FSYNC", "1")
+        assert Ledger(tmp_path / "l.jsonl").fsync
+        monkeypatch.delenv("REPRO_LEDGER_FSYNC")
+        assert not Ledger(tmp_path / "l.jsonl").fsync
+        assert Ledger(tmp_path / "l.jsonl", fsync=True).fsync
+
+
+class TestWorkerLoop:
+    def test_single_worker_drains_campaign(self, tmp_path):
+        executor = runtime.configure(jobs=1, cache_dir=str(tmp_path / "cache"))
+        campaign = Campaign.create(small_spec(), tmp_path / "c", backend="sqlite")
+        stats = run_worker(campaign, runtime=executor, worker_id="w1", poll=0.05)
+        assert stats.done == 4 and stats.failed == 0
+        assert campaign.status_counts()["done"] == 4
+
+    def test_jsonl_campaign_is_rejected(self, tmp_path):
+        executor = runtime.configure(jobs=1, cache_dir=str(tmp_path / "cache"))
+        campaign = Campaign.create(small_spec(), tmp_path / "c")  # jsonl
+        with pytest.raises(CampaignError) as excinfo:
+            run_worker(campaign, runtime=executor)
+        assert "sqlite" in str(excinfo.value)
+
+    def test_two_workers_split_the_campaign(self, tmp_path):
+        executor = runtime.configure(jobs=1, cache_dir=str(tmp_path / "cache"))
+        campaign = Campaign.create(small_spec(), tmp_path / "c", backend="sqlite")
+        all_stats = []
+
+        def work(worker_id):
+            all_stats.append(
+                run_worker(
+                    campaign, runtime=executor, worker_id=worker_id, poll=0.05
+                )
+            )
+
+        threads = [threading.Thread(target=work, args=(f"w{i}",)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(stats.done for stats in all_stats) == 4
+        assert campaign.status_counts()["done"] == 4
+        # Every done record names the worker that produced it.
+        workers = {
+            record.get("worker")
+            for record in campaign.ledger.records()
+            if record["status"] == "done"
+        }
+        assert workers <= {"w0", "w1"}
+
+    def test_should_stop_drains_gracefully(self, tmp_path):
+        executor = runtime.configure(jobs=1, cache_dir=str(tmp_path / "cache"))
+        campaign = Campaign.create(small_spec(), tmp_path / "c", backend="sqlite")
+        calls = []
+
+        def stop_after_two():
+            # Consulted once before each claim: let two jobs through.
+            calls.append(1)
+            return len(calls) > 2
+
+        stats = run_worker(
+            campaign, runtime=executor, worker_id="w1", should_stop=stop_after_two
+        )
+        assert stats.drained
+        assert stats.done == 2
+        counts = campaign.status_counts()
+        assert counts["done"] == 2 and counts["pending"] == 2
+        # Nothing left half-claimed: a sibling can finish the rest.
+        resumed = run_worker(campaign, runtime=executor, worker_id="w2", poll=0.05)
+        assert resumed.done == 2
+        assert campaign.status_counts()["done"] == 4
+
+    def test_failed_job_journaled_and_retried(self, tmp_path, monkeypatch):
+        from repro import sim
+
+        executor = runtime.configure(jobs=1, cache_dir=str(tmp_path / "cache"))
+        spec = CampaignSpec.build(
+            "flaky", [["swim"]], ["padc"], 200, include_alone=False
+        )
+        campaign = Campaign.create(spec, tmp_path / "c", backend="sqlite")
+        real = sim.simulate
+        attempts = []
+
+        def flaky(config, benchmarks, **kwargs):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("transient blip")
+            return real(config, benchmarks, **kwargs)
+
+        monkeypatch.setattr(sim, "simulate", flaky)
+        stats = run_worker(
+            campaign, runtime=executor, worker_id="w1", retries=1, poll=0.05
+        )
+        assert stats.failed == 1 and stats.done == 1
+        (state,) = campaign.states().values()
+        assert state.status == "done"
+        assert state.attempts == 2
+
+
+class TestExportEquality:
+    """The PR 3 guarantee survives the new backend: sqlite multi-worker
+    campaigns export byte-identical CSV/JSON to single-process JSONL."""
+
+    def _jsonl_baseline(self, spec, tmp_path):
+        executor = runtime.configure(jobs=1, cache_dir=str(tmp_path / "cache-jsonl"))
+        campaign = Campaign.create(spec, tmp_path / "jsonl")
+        CampaignRunner(campaign, runtime=executor).run()
+        return (
+            export(campaign, executor.store, fmt="csv"),
+            export(campaign, executor.store, fmt="json"),
+        )
+
+    def test_worker_export_matches_jsonl_runner(self, tmp_path):
+        spec = small_spec(include_alone=True)
+        jsonl_csv, jsonl_json = self._jsonl_baseline(spec, tmp_path)
+        executor = runtime.configure(jobs=1, cache_dir=str(tmp_path / "cache-sqlite"))
+        campaign = Campaign.create(spec, tmp_path / "sqlite", backend="sqlite")
+        run_worker(campaign, runtime=executor, worker_id="w1", poll=0.05)
+        assert export(campaign, executor.store, fmt="csv") == jsonl_csv
+        assert export(campaign, executor.store, fmt="json") == jsonl_json
+
+    def test_runner_on_sqlite_matches_jsonl(self, tmp_path):
+        """CampaignRunner itself also drives the sqlite backend."""
+        spec = small_spec()
+        jsonl_csv, _ = self._jsonl_baseline(spec, tmp_path)
+        executor = runtime.configure(jobs=1, cache_dir=str(tmp_path / "cache-sqlite"))
+        campaign = Campaign.create(spec, tmp_path / "sqlite", backend="sqlite")
+        run = CampaignRunner(campaign, runtime=executor).run()
+        assert not run.incomplete()
+        assert export(campaign, executor.store, fmt="csv") == jsonl_csv
+
+    def test_crash_reclaimed_export_matches_jsonl(self, tmp_path):
+        """Kill a claim mid-flight (lease expiry), let a second worker
+        reclaim it, and the export is still byte-identical."""
+        spec = small_spec()
+        jsonl_csv, _ = self._jsonl_baseline(spec, tmp_path)
+        executor = runtime.configure(jobs=1, cache_dir=str(tmp_path / "cache-sqlite"))
+        campaign = Campaign.create(spec, tmp_path / "sqlite", backend="sqlite")
+        store = campaign.ledger
+        # Emulate the SIGKILL: a claim that never completes nor heartbeats.
+        store.ensure_jobs(
+            [(job.key, job_meta(job)) for job in campaign.unique_jobs()]
+        )
+        doomed = store.claim("doomed", lease=0.01)
+        assert doomed is not None
+        time.sleep(0.05)
+        stats = run_worker(campaign, runtime=executor, worker_id="w2", poll=0.05)
+        assert stats.done == 4  # includes the reclaimed job
+        assert campaign.states()[doomed.key].attempts == 2
+        assert export(campaign, executor.store, fmt="csv") == jsonl_csv
+
+
+@pytest.mark.slow
+class TestSigkillWorkerSubprocess:
+    """The acceptance scenario end-to-end: a real worker process is
+    SIGKILL'd mid-job; a second worker reclaims and finishes; the export
+    is byte-identical to a single-process JSONL run."""
+
+    def test_kill9_worker_loses_nothing(self, tmp_path):
+        spec = small_spec(name="kill9")
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(spec.to_dict()))
+        campaign_dir = tmp_path / "campaign"
+        cache_dir = tmp_path / "cache"
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+        env.pop("REPRO_CAMPAIGN_BACKEND", None)
+
+        create = subprocess.run(
+            [
+                sys.executable, "-m", "repro.campaign", "create",
+                "--spec", str(spec_file), "--dir", str(campaign_dir),
+                "--backend", "sqlite",
+            ],
+            env=env, capture_output=True, text=True, timeout=60,
+        )
+        assert create.returncode == 0, create.stderr
+
+        # Worker A claims its first job, then sits in the throttle sleep
+        # (heartbeating) long enough for us to SIGKILL it mid-job.
+        doomed = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.campaign", "worker",
+                str(campaign_dir), "--cache-dir", str(cache_dir),
+                "--worker-id", "doomed", "--lease", "1", "--throttle", "60",
+                "--quiet",
+            ],
+            env=env,
+        )
+        try:
+            store = SqliteJobStore(campaign_dir / DB_NAME)
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                rows = [row for row in store.job_rows() if row["state"] == "running"]
+                if rows:
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("worker never claimed a job")
+            doomed.send_signal(signal.SIGKILL)
+            doomed.wait(timeout=30)
+        finally:
+            if doomed.poll() is None:
+                doomed.kill()
+        (claimed,) = [row for row in store.job_rows() if row["state"] == "running"]
+        assert claimed["worker"] == "doomed"
+
+        # A second worker reclaims the orphaned job after the 1s lease
+        # expires and drains the campaign.
+        executor = runtime.configure(jobs=1, cache_dir=str(cache_dir))
+        campaign = Campaign.open(campaign_dir)
+        stats = run_worker(
+            campaign, runtime=executor, worker_id="rescuer", poll=0.1
+        )
+        assert stats.done == 4
+        states = campaign.states()
+        assert states[claimed["key"]].status == "done"
+        assert states[claimed["key"]].attempts == 2  # doomed's try + rescue
+        assert states[claimed["key"]].worker == "rescuer"
+
+        # Byte-identical to the single-process JSONL baseline.
+        clean_rt = runtime.configure(jobs=1, cache_dir=str(tmp_path / "cache2"))
+        clean = Campaign.create(spec, tmp_path / "clean")
+        CampaignRunner(clean, runtime=clean_rt).run()
+        assert export(campaign, executor.store) == export(clean, clean_rt.store)

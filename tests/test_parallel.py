@@ -155,7 +155,11 @@ class TestWorkerFailureReporting:
             executor.run_many([good, bad])
         error = excinfo.value
         assert error.key == bad.key()
-        assert any("batch of 2 jobs" in note for note in error.__notes__)
+        # The batch note is folded into the message (not add_note, which
+        # is 3.11+ and the package declares 3.9), so it reaches both the
+        # console and any ledger recording str(error).
+        assert "batch of 2 jobs" in str(error)
+        assert "abandoned" in str(error)
 
     def test_failure_crosses_process_pool_intact(self, tmp_path):
         executor = Runtime(jobs=2, cache_dir=str(tmp_path / "cache"))
@@ -203,6 +207,19 @@ class TestRuntimeKnobs:
         import os
 
         assert Runtime(jobs=0).jobs == (os.cpu_count() or 1)
+
+    def test_unparseable_jobs_env_fails_loudly(self, monkeypatch):
+        # A typo'd REPRO_JOBS=1O must not silently serialize a whole
+        # campaign (parity with Scale.from_env's loud failure).
+        monkeypatch.setenv("REPRO_JOBS", "1O")
+        with pytest.raises(ValueError) as excinfo:
+            Runtime()
+        assert "1O" in str(excinfo.value)
+        assert "REPRO_JOBS" in str(excinfo.value)
+
+    def test_explicit_jobs_ignores_bad_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+        assert Runtime(jobs=2).jobs == 2
 
     def test_flag_overrides_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "4")

@@ -1,0 +1,73 @@
+"""tools/check_py39_compat.py: the guard for ``requires-python = ">=3.9"``.
+
+The checker itself must flag 3.10+ syntax and version-gated attribute
+calls (self-test), and the shipped ``src/`` tree must come up clean —
+the regression that motivated it was an ``add_note`` call (3.11+) inside
+an error path, which turned every worker failure into an
+``AttributeError`` on 3.9.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from check_py39_compat import check_source, check_tree, main  # noqa: E402
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+class TestSourceTreeIsClean:
+    def test_src_has_no_39_compat_findings(self):
+        findings = check_tree([SRC])
+        assert findings == []
+
+    def test_cli_passes_on_src(self, capsys):
+        assert main([str(SRC)]) == 0
+        assert "compatible" in capsys.readouterr().out
+
+
+class TestCheckerSelfTest:
+    def test_flags_add_note_call(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text(
+            "try:\n"
+            "    pass\n"
+            "except Exception as error:\n"
+            "    error.add_note('context')\n"
+            "    raise\n"
+        )
+        findings = check_source(path, path.read_text())
+        assert len(findings) == 1
+        assert "add_note" in findings[0]
+        assert "3.11+" in findings[0]
+        assert f"{path}:4" in findings[0]
+
+    def test_flags_match_statement(self, tmp_path):
+        path = tmp_path / "match.py"
+        path.write_text(
+            "def f(x):\n"
+            "    match x:\n"
+            "        case 1:\n"
+            "            return 'one'\n"
+            "    return 'other'\n"
+        )
+        findings = check_source(path, path.read_text())
+        assert len(findings) == 1
+        assert "3.9 syntax" in findings[0]
+
+    def test_clean_39_code_passes(self, tmp_path):
+        path = tmp_path / "fine.py"
+        path.write_text(
+            "from typing import Optional\n"
+            "def f(x: Optional[int] = None) -> int:\n"
+            "    note = 'add_note'  # the *string* is fine; only calls flag\n"
+            "    return (x or 0) + len(note)\n"
+        )
+        assert check_source(path, path.read_text()) == []
+
+    def test_cli_fails_on_findings(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text("x = object()\nx.add_note('y')\n")
+        assert main([str(path)]) == 1
+        assert "add_note" in capsys.readouterr().err

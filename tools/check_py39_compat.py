@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Guard the declared ``requires-python = ">=3.9"`` floor.
+
+Two checks over every Python file under ``src/``:
+
+1. **Syntax** — each file must parse with ``ast.parse(...,
+   feature_version=(3, 9))``, so 3.10+ syntax (``match``/``case``,
+   parenthesized context managers relying on new grammar, ...) is
+   rejected on any interpreter, not just when someone happens to run
+   an actual 3.9.
+2. **Known version-gated APIs** — a denylist of attribute calls that
+   parse everywhere but explode at runtime on 3.9/3.10.  The motivating
+   regression: ``BaseException.add_note`` (3.11+) inside an error path,
+   where the report about the real failure itself raised
+   ``AttributeError`` on 3.9.
+
+Run directly (``python tools/check_py39_compat.py [roots...]``, exit 1
+on findings) — CI's ``py39-compat`` job does — or through the tier-1
+suite via ``tests/test_py39_compat.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List, Sequence
+
+MIN_VERSION = (3, 9)
+
+# Attribute calls that are syntactically fine everywhere but need a newer
+# runtime than the declared floor.  Maps attribute name -> reason.
+BANNED_ATTRIBUTE_CALLS = {
+    "add_note": "BaseException.add_note is Python 3.11+",
+}
+
+
+def check_source(path: Path, source: str) -> List[str]:
+    """All 3.9-compat findings for one file, as ``path:line: message``."""
+    try:
+        tree = ast.parse(source, filename=str(path), feature_version=MIN_VERSION)
+    except SyntaxError as error:
+        line = error.lineno or 0
+        return [
+            f"{path}:{line}: not valid Python "
+            f"{'.'.join(map(str, MIN_VERSION))} syntax: {error.msg}"
+        ]
+    findings = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in BANNED_ATTRIBUTE_CALLS
+        ):
+            reason = BANNED_ATTRIBUTE_CALLS[node.func.attr]
+            findings.append(
+                f"{path}:{node.lineno}: call to .{node.func.attr}() — {reason}"
+            )
+    return findings
+
+
+def check_tree(roots: Sequence[Path]) -> List[str]:
+    findings: List[str] = []
+    for root in roots:
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for path in files:
+            findings.extend(check_source(path, path.read_text(encoding="utf-8")))
+    return findings
+
+
+def main(argv: Sequence[str]) -> int:
+    roots = [Path(arg) for arg in argv] or [Path("src")]
+    findings = check_tree(roots)
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    if findings:
+        print(
+            f"error: {len(findings)} Python-3.9 compatibility finding(s)",
+            file=sys.stderr,
+        )
+        return 1
+    checked = ", ".join(str(root) for root in roots)
+    print(f"ok: {checked} is Python {'.'.join(map(str, MIN_VERSION))} compatible")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
