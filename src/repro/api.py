@@ -252,6 +252,32 @@ def campaign_export(directory, *, fmt: str = "csv", runtime: Optional[Runtime] =
     return _export(opened, runtime.store, fmt=fmt)
 
 
+def register_trace(name: str, path) -> None:
+    """Bind ``trace:<name>`` to a converted ``.rtr`` file for this process.
+
+    After registration the name works everywhere a benchmark name does —
+    :func:`simulate`, :func:`submit`, campaign specs.  Lazy import: the
+    trace subsystem loads only when traces are actually used.
+    """
+    from repro.trace import register_trace as _register
+
+    _register(name, path)
+
+
+def trace_workload(spec: str, *, name: Optional[str] = None):
+    """Resolve ``trace:<name-or-path>`` (or a bare path) to a workload.
+
+    Returns a :class:`~repro.trace.TraceWorkload` whose cache identity is
+    the file's embedded content digest plus windowing knobs (``start``,
+    ``limit``, ``loop``) — never the path.  Raises
+    :class:`~repro.trace.TraceLookupError` with nearest-match
+    suggestions on unknown names.
+    """
+    from repro.trace import resolve_trace as _resolve
+
+    return _resolve(spec, name=name)
+
+
 RESULT_SCHEMA_VERSION = _results.RESULT_SCHEMA_VERSION
 
 __all__ = [
@@ -261,7 +287,9 @@ __all__ = [
     "campaign_create",
     "campaign_export",
     "campaign_status",
+    "register_trace",
     "simulate",
     "submit",
     "submit_many",
+    "trace_workload",
 ]

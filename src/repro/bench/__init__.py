@@ -395,6 +395,64 @@ def bench_micro_policy(policy: str, scale: str, repeats: int = 1) -> Dict[str, o
     }
 
 
+# -- trace encode/decode throughput ----------------------------------------
+
+# Entries per trace-bench run = micro_requests x this multiplier (decode
+# is far cheaper per entry than a scheduling round, so it needs a larger
+# population for stable numbers).
+TRACE_BENCH_MULTIPLIER = 25
+TRACE_BENCH_BENCHMARK = "swim_00"
+
+
+def bench_trace(scale: str, *, seed: int = MACRO_SEED) -> Dict[str, object]:
+    """Measure ``.rtr`` encode and streaming-decode throughput.
+
+    Renders a synthetic trace to a temporary ``.rtr`` file (timing the
+    encoder), then iterates the whole file back (timing the mmap-backed
+    decoder).  Reported entries/sec are machine-dependent; bytes/entry is
+    not, so it doubles as a compactness snapshot of the format.
+    """
+    import os
+    import tempfile
+
+    from repro.trace.format import TraceReader, write_trace
+    from repro.workloads import make_trace
+
+    entries = SCALES[scale].micro_requests * TRACE_BENCH_MULTIPLIER
+    descriptor, path = tempfile.mkstemp(suffix=".rtr")
+    os.close(descriptor)
+    try:
+        start = perf_counter()
+        header = write_trace(
+            path, make_trace(TRACE_BENCH_BENCHMARK, seed=seed), limit=entries
+        )
+        encode_s = perf_counter() - start
+        size = os.path.getsize(path)
+        reader = TraceReader(path)
+        decoded = 0
+        start = perf_counter()
+        for _ in reader.entries():
+            decoded += 1
+        decode_s = perf_counter() - start
+    finally:
+        os.unlink(path)
+    if decoded != entries:
+        raise RuntimeError(
+            f"trace bench decoded {decoded} of {entries} entries"
+        )
+    return {
+        "benchmark": TRACE_BENCH_BENCHMARK,
+        "entries": entries,
+        "blocks": header.blocks,
+        "file_bytes": size,
+        "bytes_per_entry": round(size / entries, 3),
+        "encode_s": round(encode_s, 6),
+        "encode_entries_per_sec": round(entries / encode_s, 1) if encode_s else None,
+        "decode_s": round(decode_s, 6),
+        "decode_entries_per_sec": round(entries / decode_s, 1) if decode_s else None,
+    }
+
+
 # -- equivalence -----------------------------------------------------------
 
 
@@ -445,6 +503,7 @@ def build_report(
     repeats: int = 1,
     verify: bool = True,
     run_micro_bench: bool = True,
+    run_trace_bench: bool = True,
     certify: bool = True,
     certify_policy: str = CERTIFY_POLICY,
     certify_pairs: int = CERTIFY_PAIRS,
@@ -481,6 +540,9 @@ def build_report(
             report["micro"]["policies"][policy] = bench_micro_policy(
                 policy, scale, repeats
             )
+    if run_trace_bench:
+        note("trace encode/decode throughput ...")
+        report["trace"] = bench_trace(scale)
     if certify:
         note(
             f"certifying event speedup ({certify_policy}, "

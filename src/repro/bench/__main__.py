@@ -113,6 +113,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the tick-loop microbench",
     )
     parser.add_argument(
+        "--skip-trace",
+        action="store_true",
+        help="skip the .rtr trace encode/decode throughput bench",
+    )
+    parser.add_argument(
         "--skip-certify",
         action="store_true",
         help="skip the paired event-vs-optimized speedup certificate",
@@ -163,6 +168,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         repeats=args.repeats,
         verify=not args.skip_verify,
         run_micro_bench=not args.skip_micro,
+        run_trace_bench=not args.skip_trace,
         certify=not args.skip_certify,
         certify_policy=args.certify_policy,
         certify_pairs=args.certify_pairs,
@@ -195,6 +201,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"optimized {entry['optimized']['cycles_per_sec']:>12,.0f} cyc/s "
             f"({entry['speedup_end_to_end']:.2f}x vs reference, tick-loop "
             f"{entry['speedup_tick_loop']:.2f}x)"
+        )
+
+    trace_bench = report.get("trace")
+    if trace_bench is not None:
+        print(
+            f"[bench] trace: encode "
+            f"{trace_bench['encode_entries_per_sec']:>12,.0f} entries/s, "
+            f"decode {trace_bench['decode_entries_per_sec']:>12,.0f} entries/s "
+            f"({trace_bench['bytes_per_entry']:.2f} B/entry, "
+            f"{trace_bench['entries']:,} entries)"
         )
 
     certificate = report.get("certificate")

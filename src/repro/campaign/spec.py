@@ -209,7 +209,25 @@ class CampaignSpec:
             if not workload.benchmarks:
                 raise SpecError(f"workload {index} is empty")
             for name in workload.benchmarks:
-                if name not in known_benchmarks:
+                if name.startswith("trace:"):
+                    # Trace workloads validate through the trace resolver:
+                    # spec-knob typos and unknown trace names fail here —
+                    # with the resolver's own did-you-mean suggestions —
+                    # before a single job runs.  Lazy import: specs
+                    # without traces never load the trace subsystem.
+                    from repro.trace import (
+                        TraceFormatError,
+                        TraceLookupError,
+                        validate_trace_spec,
+                    )
+
+                    try:
+                        validate_trace_spec(name)
+                    except (TraceLookupError, TraceFormatError, OSError) as error:
+                        raise SpecError(
+                            f"workload {index}: {error}"
+                        ) from None
+                elif name not in known_benchmarks:
                     raise SpecError(
                         f"workload {index}: unknown benchmark {name!r}"
                         f"{_suggest(name, known_benchmarks)}; "

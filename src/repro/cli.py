@@ -72,7 +72,11 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("names", nargs="+", help="experiment ids, or 'all'")
     _add_runtime_flags(experiment)
 
-    trace = sub.add_parser("trace", help="dump a synthetic trace to a file")
+    trace = sub.add_parser(
+        "trace",
+        help="dump a synthetic trace (.rtr binary if the output ends in "
+        ".rtr, else legacy gzip text; see python -m repro.trace)",
+    )
     trace.add_argument("benchmark")
     trace.add_argument("output")
     trace.add_argument("--accesses", type=int, default=10_000)
@@ -267,6 +271,15 @@ def _cmd_telemetry(args) -> int:
 
 def _cmd_trace(args) -> int:
     entries = make_trace(args.benchmark, seed=args.seed)
+    if args.output.endswith(".rtr"):
+        from repro.trace import write_trace
+
+        header = write_trace(args.output, entries, limit=args.accesses)
+        print(
+            f"wrote {header.entries} accesses to {args.output} "
+            f"(digest {header.digest[:16]}...)"
+        )
+        return 0
     count = save_trace(entries, args.output, limit=args.accesses)
     print(f"wrote {count} accesses to {args.output}")
     return 0

@@ -58,10 +58,22 @@ class SimJob:
         )
 
     def payload(self) -> Dict:
-        """Canonical content of this job, for cache keying."""
+        """Canonical content of this job, for cache keying.
+
+        Workloads canonicalize through
+        :func:`repro.workloads.canonical_workload`: benchmark names stay
+        strings, while ``trace:`` specs and ``TraceWorkload`` values hash
+        by the trace file's embedded content digest (never its path), so
+        the same trace at two paths shares cache entries and an edited
+        trace invalidates them.
+        """
+        from repro.workloads.resolve import canonical_workload
+
         return {
             "config": canonicalize(self.config),
-            "benchmarks": [canonicalize(benchmark) for benchmark in self.benchmarks],
+            "benchmarks": [
+                canonical_workload(benchmark) for benchmark in self.benchmarks
+            ],
             "accesses": self.accesses,
             "seed": self.seed,
             "sim_kwargs": canonicalize(dict(self.sim_kwargs)),

@@ -43,7 +43,10 @@ from repro.sim.results import SimResult
 #     backend knob is hash-excluded), but the version stamp still moves:
 #     entries written before the certification machinery existed must
 #     not answer for the new default path.
-CACHE_VERSION = 5
+# v6: trace subsystem (PR 8): job payloads canonicalize workloads
+#     through canonical_workload — file-backed workloads key by their
+#     embedded content digest plus windowing knobs, never by path.
+CACHE_VERSION = 6
 
 DEFAULT_CACHE_DIR = "~/.cache/repro"
 

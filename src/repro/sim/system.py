@@ -41,7 +41,8 @@ from repro.prefetch.fdp import FDPController
 from repro.sim.results import CoreResult, SimResult
 from repro.telemetry.collector import NoopCollector, as_collector
 from repro.validate.checker import InvariantChecker, check_enabled
-from repro.workloads.profiles import BenchmarkProfile, get_profile
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.resolve import resolve_workload
 from repro.workloads.synthetic import SyntheticTraceGenerator
 
 _CORE, _RETRY, _FILL, _TICK, _INTERVAL, _REFRESH = range(6)
@@ -52,7 +53,9 @@ _DEMAND_MSHR_RESERVE = 4
 # Cores get disjoint line-address spaces (separate processes).
 _CORE_ADDR_SHIFT = 54
 
-ProfileLike = Union[str, BenchmarkProfile]
+# A workload per core: a benchmark name, a ``trace:<name-or-path>`` spec,
+# a BenchmarkProfile, or a resolved repro.trace.TraceWorkload.
+ProfileLike = Union[str, BenchmarkProfile, object]
 
 
 class System:
@@ -74,10 +77,10 @@ class System:
                 f"{config.num_cores} cores but {len(benchmarks)} benchmarks"
             )
         self.config = config
-        self.profiles: List[BenchmarkProfile] = [
-            profile if isinstance(profile, BenchmarkProfile) else get_profile(profile)
-            for profile in benchmarks
-        ]
+        # Synthetic profiles and trace workloads, one per core — every
+        # spelling (name, "trace:" spec, profile, TraceWorkload) funnels
+        # through the shared resolver.
+        self.profiles: List = [resolve_workload(workload) for workload in benchmarks]
         self.seed = seed
         self.collect_service_times = collect_service_times
 
@@ -157,14 +160,20 @@ class System:
 
         self.cores: List[CoreState] = []
         self.results: List[CoreResult] = []
-        for core_id, profile in enumerate(self.profiles):
-            trace = SyntheticTraceGenerator(profile, seed=seed + core_id).generate(
-                offset=(core_id + 1) << _CORE_ADDR_SHIFT
-            )
+        for core_id, workload in enumerate(self.profiles):
+            offset = (core_id + 1) << _CORE_ADDR_SHIFT
+            if isinstance(workload, BenchmarkProfile):
+                trace = SyntheticTraceGenerator(
+                    workload, seed=seed + core_id
+                ).generate(offset=offset)
+            else:
+                # TraceWorkload: deterministic file replay — the seed does
+                # not perturb it, but the per-core offset contract holds.
+                trace = workload.entries(offset=offset)
             self.cores.append(
                 CoreState(core_id, config.core, trace, target_accesses=0)
             )
-            self.results.append(CoreResult(core_id=core_id, benchmark=profile.name))
+            self.results.append(CoreResult(core_id=core_id, benchmark=workload.name))
 
         self._heap: List = []
         self._seq = 0

@@ -1,0 +1,81 @@
+"""Real-trace ingestion: binary trace format, converters, trace workloads.
+
+The trace subsystem (DESIGN.md §13) is the input layer that replaces
+synthetic profile generation with recorded program behavior:
+
+* :mod:`repro.trace.format` — the ``.rtr`` binary format: versioned
+  64-byte header with an embedded SHA-256 content digest, delta-encoded
+  varint-packed records in CRC-checked blocks, mmap-backed streaming
+  decode in constant memory.
+* :mod:`repro.trace.convert` — converters from ChampSim-style and
+  gem5-style L2-access dumps (plus the legacy gzip text format).
+* :mod:`repro.trace.workload` — :class:`TraceWorkload` and the
+  ``trace:<name-or-path>`` spec syntax accepted everywhere a benchmark
+  name is; hashes by content digest, never by path.
+* :mod:`repro.trace.profile` — measure a trace and derive a
+  :class:`~repro.workloads.profiles.BenchmarkProfile` from it.
+
+CLI: ``python -m repro.trace`` (convert / info / validate / head /
+profile / synth).
+"""
+
+from repro.trace.convert import CONVERTERS, ConvertError, convert, sniff_dialect
+from repro.trace.format import (
+    DEFAULT_BLOCK_ENTRIES,
+    FORMAT_VERSION,
+    TRACE_SUFFIX,
+    TraceFormatError,
+    TraceHeader,
+    TraceReader,
+    TraceWriter,
+    probe_header,
+    read_trace,
+    trace_digest,
+    validate_trace,
+    write_trace,
+)
+from repro.trace.profile import TraceStats, measure_trace, profile_from_trace
+from repro.trace.workload import (
+    TRACE_PREFIX,
+    TRACE_PATH_ENV,
+    TraceLookupError,
+    TraceWorkload,
+    discovered_traces,
+    parse_trace_spec,
+    register_trace,
+    resolve_trace,
+    unregister_traces,
+    validate_trace_spec,
+)
+
+__all__ = [
+    "CONVERTERS",
+    "ConvertError",
+    "DEFAULT_BLOCK_ENTRIES",
+    "FORMAT_VERSION",
+    "TRACE_PATH_ENV",
+    "TRACE_PREFIX",
+    "TRACE_SUFFIX",
+    "TraceFormatError",
+    "TraceHeader",
+    "TraceLookupError",
+    "TraceReader",
+    "TraceStats",
+    "TraceWorkload",
+    "TraceWriter",
+    "convert",
+    "discovered_traces",
+    "measure_trace",
+    "parse_trace_spec",
+    "probe_header",
+    "profile_from_trace",
+    "read_trace",
+    "register_trace",
+    "resolve_trace",
+    "sniff_dialect",
+    "trace_digest",
+    "unregister_traces",
+    "validate_trace",
+    "validate_trace_spec",
+    "write_trace",
+]

@@ -1,0 +1,211 @@
+"""Trace toolbox CLI: ``python -m repro.trace``.
+
+Subcommands::
+
+    convert   <input> <output.rtr> [--from champsim|gem5|repro-text]
+    synth     <benchmark> <output.rtr> --accesses N [--seed S]
+    info      <trace.rtr> [--json]
+    validate  <trace.rtr>
+    head      <trace.rtr> [-n 10] [--start K]
+    profile   <trace.rtr> [--name X] [--limit N] [--json]
+
+Examples::
+
+    python -m repro.trace convert dumps/mcf.l2.txt traces/mcf.rtr
+    python -m repro.trace convert gem5.csv traces/app.rtr --from gem5 \\
+        --ticks-per-instr 500
+    python -m repro.trace synth swim traces/swim.rtr --accesses 100000
+    REPRO_TRACE_PATH=traces python -m repro simulate --cores 1 \\
+        --benchmarks trace:mcf --accesses 5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.trace.convert import (
+    CONVERTERS,
+    DEFAULT_TICKS_PER_INSTR,
+    ConvertError,
+    convert,
+    sniff_dialect,
+)
+from repro.trace.format import (
+    DEFAULT_BLOCK_ENTRIES,
+    TraceFormatError,
+    TraceReader,
+    probe_header,
+    validate_trace,
+    write_trace,
+)
+from repro.trace.profile import measure_trace, profile_from_trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    conv = sub.add_parser("convert", help="convert an access dump to .rtr")
+    conv.add_argument("input")
+    conv.add_argument("output")
+    conv.add_argument(
+        "--from",
+        dest="dialect",
+        choices=CONVERTERS,
+        default=None,
+        help="input dialect (default: sniffed from suffix/content)",
+    )
+    conv.add_argument("--line-bytes", type=int, default=64)
+    conv.add_argument(
+        "--ticks-per-instr",
+        type=int,
+        default=DEFAULT_TICKS_PER_INSTR,
+        help="gem5 tick-to-instruction divisor (gem5 dialect only)",
+    )
+    conv.add_argument("--limit", type=int, default=None)
+    conv.add_argument("--block-entries", type=int, default=DEFAULT_BLOCK_ENTRIES)
+
+    synth = sub.add_parser(
+        "synth", help="render a synthetic benchmark profile into a .rtr trace"
+    )
+    synth.add_argument("benchmark")
+    synth.add_argument("output")
+    synth.add_argument("--accesses", type=int, default=100_000)
+    synth.add_argument("--seed", type=int, default=0)
+    synth.add_argument("--block-entries", type=int, default=DEFAULT_BLOCK_ENTRIES)
+
+    info = sub.add_parser("info", help="print the header of a trace")
+    info.add_argument("trace")
+    info.add_argument("--json", action="store_true")
+
+    val = sub.add_parser(
+        "validate", help="fully verify blocks, counts and content digest"
+    )
+    val.add_argument("trace")
+
+    head = sub.add_parser("head", help="print the first records of a trace")
+    head.add_argument("trace")
+    head.add_argument("-n", "--count", type=int, default=10)
+    head.add_argument("--start", type=int, default=0)
+
+    prof = sub.add_parser(
+        "profile", help="measure the trace and derive a BenchmarkProfile"
+    )
+    prof.add_argument("trace")
+    prof.add_argument("--name", default=None)
+    prof.add_argument("--start", type=int, default=0)
+    prof.add_argument("--limit", type=int, default=None)
+    prof.add_argument("--json", action="store_true")
+    return parser
+
+
+def _cmd_convert(args) -> int:
+    dialect = args.dialect or sniff_dialect(args.input)
+    header = convert(
+        args.input,
+        args.output,
+        dialect,
+        line_bytes=args.line_bytes,
+        ticks_per_instr=args.ticks_per_instr,
+        limit=args.limit,
+        block_entries=args.block_entries,
+    )
+    print(
+        f"converted {args.input} ({dialect}) -> {args.output}: "
+        f"{header.entries} entries in {header.blocks} blocks, "
+        f"digest {header.digest[:16]}..."
+    )
+    return 0
+
+
+def _cmd_synth(args) -> int:
+    from repro.workloads import make_trace
+
+    header = write_trace(
+        args.output,
+        make_trace(args.benchmark, seed=args.seed),
+        limit=args.accesses,
+        block_entries=args.block_entries,
+    )
+    print(
+        f"synthesized {args.benchmark} (seed {args.seed}) -> {args.output}: "
+        f"{header.entries} entries, digest {header.digest[:16]}..."
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    header = probe_header(args.trace)
+    if args.json:
+        print(json.dumps(header.to_dict(), indent=2, sort_keys=True))
+        return 0
+    for key, value in header.to_dict().items():
+        print(f"{key:>14}: {value}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    header = validate_trace(args.trace)
+    print(
+        f"{args.trace}: OK — {header.entries} entries, {header.blocks} "
+        f"blocks, digest {header.digest}"
+    )
+    return 0
+
+
+def _cmd_head(args) -> int:
+    reader = TraceReader(args.trace)
+    print("gap line_addr pc write")
+    for entry in reader.entries(start=args.start, limit=args.count):
+        print(
+            f"{entry.gap} {entry.line_addr:#x} {entry.pc:#x} "
+            f"{'W' if entry.is_write else '-'}"
+        )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    stats = measure_trace(args.trace, start=args.start, limit=args.limit)
+    profile = profile_from_trace(
+        args.trace, name=args.name, start=args.start, limit=args.limit
+    )
+    if args.json:
+        payload = {"measured": stats.to_dict(), "profile": profile.__dict__}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print("measured:")
+    for key, value in stats.to_dict().items():
+        print(f"  {key:>16}: {value}")
+    print("derived BenchmarkProfile:")
+    for key, value in sorted(profile.__dict__.items()):
+        print(f"  {key:>16}: {value}")
+    return 0
+
+
+_COMMANDS = {
+    "convert": _cmd_convert,
+    "synth": _cmd_synth,
+    "info": _cmd_info,
+    "validate": _cmd_validate,
+    "head": _cmd_head,
+    "profile": _cmd_profile,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ConvertError, TraceFormatError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

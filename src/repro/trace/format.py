@@ -1,0 +1,533 @@
+"""The ``.rtr`` binary trace format: compact, versioned, mmap-able.
+
+Layout (little-endian throughout)::
+
+    offset  0  magic          b"RPTR"
+    offset  4  u16  version   (FORMAT_VERSION)
+    offset  6  u16  header    total fixed-header size in bytes (64)
+    offset  8  u64  entries   total record count
+    offset 16  u64  blocks    block count
+    offset 24  u32  block_entries   records per block (last may be short)
+    offset 28  u32  flags     reserved, 0
+    offset 32  32B  digest    SHA-256 content digest (see below)
+    -- 64 bytes, then ``blocks`` blocks, each:
+    u32 payload_len | u32 crc32(payload) | payload
+
+A block's payload packs ``block_entries`` records (the last block packs
+the remainder).  One record is three varints::
+
+    varint(gap << 1 | is_write)  zigzag_varint(line_delta)  varint(pc)
+
+``line_delta`` is the difference from the previous record's line address
+*within the block* (the first record of every block is encoded against
+zero, so blocks decode independently — windowed reads skip whole blocks
+without touching their payloads).
+
+**Content digest.**  The header digest is SHA-256 over the *canonical*
+record stream: the same three-varint records, but with ``line_delta``
+taken against the previous record globally (never reset at block
+boundaries).  Two files carry the same digest if and only if they encode
+the same logical entry sequence — regardless of block size.  The digest,
+not the file path, is what cache keys incorporate (DESIGN.md §13).
+
+**Version policy** (recorded here, enforced by :func:`probe_header`):
+``FORMAT_VERSION`` moves on *any* change to the record encoding or the
+fixed header layout; readers reject files whose version they do not
+implement, never guess.  Purely additive metadata must go in new trailing
+header space guarded by the recorded header size — current readers skip
+bytes between ``header`` and the first block.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+import os
+import struct
+import tempfile
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.core.trace import TraceEntry
+
+MAGIC = b"RPTR"
+FORMAT_VERSION = 1
+TRACE_SUFFIX = ".rtr"
+
+_HEADER_STRUCT = struct.Struct("<4sHHQQII32s")
+HEADER_SIZE = _HEADER_STRUCT.size  # 64
+_BLOCK_STRUCT = struct.Struct("<II")
+
+DEFAULT_BLOCK_ENTRIES = 8192
+
+PathLike = Union[str, Path]
+
+
+class TraceFormatError(ValueError):
+    """A trace file is not a readable ``.rtr`` of a supported version."""
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """The decoded fixed header of one ``.rtr`` file."""
+
+    path: str
+    version: int
+    entries: int
+    blocks: int
+    block_entries: int
+    digest: str  # hex
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "version": self.version,
+            "entries": self.entries,
+            "blocks": self.blocks,
+            "block_entries": self.block_entries,
+            "digest": self.digest,
+        }
+
+
+# -- varints -----------------------------------------------------------------
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if not (value & 1) else -((value + 1) >> 1)
+
+
+def _append_varint(buffer: bytearray, value: int) -> None:
+    while value > 0x7F:
+        buffer.append((value & 0x7F) | 0x80)
+        value >>= 7
+    buffer.append(value)
+
+
+def _read_varint(data, position: int) -> Tuple[int, int]:
+    """Decode one varint at ``position``; returns (value, next position)."""
+    result = 0
+    shift = 0
+    while True:
+        try:
+            byte = data[position]
+        except IndexError:
+            raise TraceFormatError(
+                "truncated varint: block payload ended mid-record"
+            ) from None
+        position += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, position
+        shift += 7
+
+
+def _encode_record(
+    buffer: bytearray, entry: TraceEntry, prev_line: int
+) -> None:
+    """Append one three-varint record, delta-encoded against ``prev_line``."""
+    _append_varint(buffer, (entry.gap << 1) | (1 if entry.is_write else 0))
+    _append_varint(buffer, _zigzag(entry.line_addr - prev_line))
+    _append_varint(buffer, entry.pc)
+
+
+# -- writing -----------------------------------------------------------------
+
+
+class TraceWriter:
+    """Streaming ``.rtr`` encoder: constant memory, any entry count.
+
+    Usage::
+
+        with TraceWriter(path) as writer:
+            for entry in entries:
+                writer.append(entry)
+
+    Entries are buffered one block at a time; the fixed header (entry
+    count, block count, content digest) is patched in at close.  The file
+    is written to a temp name and atomically renamed, so readers never
+    observe a half-written trace and a crashed writer leaves no
+    ``.rtr`` behind.
+    """
+
+    def __init__(self, path: PathLike, block_entries: int = DEFAULT_BLOCK_ENTRIES):
+        if block_entries <= 0:
+            raise ValueError(f"block_entries must be positive, got {block_entries}")
+        self.path = Path(path)
+        self.block_entries = block_entries
+        self.entries = 0
+        self.blocks = 0
+        self._digest = hashlib.sha256()
+        self._block = bytearray()
+        self._in_block = 0
+        self._prev_block_line = 0
+        self._prev_global_line = 0
+        self._closed = False
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, self._tmp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), suffix=".rtr.tmp"
+        )
+        self._handle = os.fdopen(descriptor, "wb")
+        self._handle.write(
+            _HEADER_STRUCT.pack(
+                MAGIC, FORMAT_VERSION, HEADER_SIZE, 0, 0, block_entries, 0, b"\0" * 32
+            )
+        )
+
+    def append(self, entry: TraceEntry) -> None:
+        if entry.gap < 0 or entry.line_addr < 0 or entry.pc < 0:
+            raise ValueError(f"trace entries must be non-negative, got {entry!r}")
+        _encode_record(self._block, entry, self._prev_block_line)
+        self._prev_block_line = entry.line_addr
+        # Canonical stream for the content digest: global delta, never
+        # reset.  Identical to the block bytes except at block starts, so
+        # one small re-encode per entry is the whole cost.
+        canonical = bytearray()
+        _encode_record(canonical, entry, self._prev_global_line)
+        self._digest.update(canonical)
+        self._prev_global_line = entry.line_addr
+        self.entries += 1
+        self._in_block += 1
+        if self._in_block >= self.block_entries:
+            self._flush_block()
+
+    def extend(self, entries: Iterable[TraceEntry], limit: Optional[int] = None) -> int:
+        """Append from an iterable (up to ``limit``); returns the count."""
+        count = 0
+        for entry in entries:
+            if limit is not None and count >= limit:
+                break
+            self.append(entry)
+            count += 1
+        return count
+
+    def _flush_block(self) -> None:
+        if not self._in_block:
+            return
+        payload = bytes(self._block)
+        self._handle.write(_BLOCK_STRUCT.pack(len(payload), zlib.crc32(payload)))
+        self._handle.write(payload)
+        self.blocks += 1
+        self._block = bytearray()
+        self._in_block = 0
+        self._prev_block_line = 0
+
+    def close(self) -> TraceHeader:
+        """Flush, patch the header, and atomically publish the file."""
+        if self._closed:
+            return self.header
+        self._closed = True
+        try:
+            self._flush_block()
+            digest = self._digest.digest()
+            self._handle.seek(0)
+            self._handle.write(
+                _HEADER_STRUCT.pack(
+                    MAGIC,
+                    FORMAT_VERSION,
+                    HEADER_SIZE,
+                    self.entries,
+                    self.blocks,
+                    self.block_entries,
+                    0,
+                    digest,
+                )
+            )
+            self._handle.close()
+            os.replace(self._tmp_name, self.path)
+        except BaseException:
+            self.abort()
+            raise
+        self.header = TraceHeader(
+            path=str(self.path),
+            version=FORMAT_VERSION,
+            entries=self.entries,
+            blocks=self.blocks,
+            block_entries=self.block_entries,
+            digest=digest.hex(),
+        )
+        return self.header
+
+    def abort(self) -> None:
+        """Discard the temp file without publishing anything."""
+        self._closed = True
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+        try:
+            os.unlink(self._tmp_name)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+def write_trace(
+    path: PathLike,
+    entries: Iterable[TraceEntry],
+    *,
+    limit: Optional[int] = None,
+    block_entries: int = DEFAULT_BLOCK_ENTRIES,
+) -> TraceHeader:
+    """Encode ``entries`` (up to ``limit``) into ``path``; returns the header."""
+    with TraceWriter(path, block_entries=block_entries) as writer:
+        writer.extend(entries, limit=limit)
+    return writer.header
+
+
+# -- reading -----------------------------------------------------------------
+
+# Memo of probed headers keyed by (resolved path, size, mtime_ns): cache
+# keying calls probe_header once per job expansion, and the trace file
+# never changes under a run without its stat signature changing too.
+# This memo only short-circuits the 64-byte header read — the *digest*
+# inside is what identifies content, so an edited file re-probes (new
+# stat) and a copied file probes equal (same bytes).
+_HEADER_MEMO: Dict[Tuple[str, int, int], TraceHeader] = {}
+
+
+def _parse_header(raw: bytes, path: str) -> Tuple[TraceHeader, int]:
+    if len(raw) < HEADER_SIZE:
+        raise TraceFormatError(
+            f"{path}: too short for a trace header "
+            f"({len(raw)} < {HEADER_SIZE} bytes)"
+        )
+    magic, version, header_size, entries, blocks, block_entries, _flags, digest = (
+        _HEADER_STRUCT.unpack_from(raw, 0)
+    )
+    if magic != MAGIC:
+        raise TraceFormatError(
+            f"{path}: bad magic {magic!r} (expected {MAGIC!r}); not a "
+            f"{TRACE_SUFFIX} trace — convert it first "
+            "(python -m repro.trace convert)"
+        )
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"{path}: format version {version} is not supported by this "
+            f"build (reads version {FORMAT_VERSION}); re-convert the trace"
+        )
+    if header_size < HEADER_SIZE:
+        raise TraceFormatError(
+            f"{path}: header size {header_size} below the v1 minimum {HEADER_SIZE}"
+        )
+    header = TraceHeader(
+        path=path,
+        version=version,
+        entries=entries,
+        blocks=blocks,
+        block_entries=block_entries,
+        digest=digest.hex(),
+    )
+    return header, header_size
+
+
+def probe_header(path: PathLike) -> TraceHeader:
+    """Read and validate just the fixed header (64 bytes, memoized)."""
+    resolved = os.path.realpath(str(path))
+    try:
+        stat = os.stat(resolved)
+    except OSError as error:
+        raise TraceFormatError(f"{path}: cannot stat trace file: {error}") from None
+    memo_key = (resolved, stat.st_size, stat.st_mtime_ns)
+    cached = _HEADER_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+    with open(resolved, "rb") as handle:
+        raw = handle.read(HEADER_SIZE)
+    header, _ = _parse_header(raw, str(path))
+    _HEADER_MEMO[memo_key] = header
+    return header
+
+
+def trace_digest(path: PathLike) -> str:
+    """The embedded content digest (hex) of a trace file."""
+    return probe_header(path).digest
+
+
+class TraceReader:
+    """Streaming, constant-memory decoder over one ``.rtr`` file.
+
+    The file is mapped read-only when the platform allows it (falling
+    back to a plain read), so concurrent readers share pages and decode
+    never copies more than one block's payload at a time.
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        with open(self.path, "rb") as handle:
+            try:
+                self._buffer = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+            except (ValueError, OSError):
+                # Empty or unmappable file: fall back to bytes in memory
+                # (an empty trace is 64 bytes — hardly a memory concern).
+                handle.seek(0)
+                self._buffer = handle.read()
+        self.header, self._first_block_offset = _parse_header(
+            bytes(self._buffer[:HEADER_SIZE]), str(self.path)
+        )
+
+    # Context-manager convenience; the mmap closes with the object anyway.
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if isinstance(self._buffer, mmap.mmap):
+            self._buffer.close()
+
+    def _blocks(self, skip_entries: int = 0) -> Iterator[Tuple[int, memoryview]]:
+        """Yield (entries_in_block, payload) pairs, skipping whole blocks.
+
+        ``skip_entries`` full records are skipped; blocks wholly inside
+        the skip are passed over without reading their payloads (only the
+        8-byte block header is touched).  The first yielded pair may
+        still contain records that the caller must discard (the skip
+        remainder) — :meth:`entries` handles that.
+        """
+        buffer = self._buffer
+        view = memoryview(buffer)
+        offset = self._first_block_offset
+        total = len(buffer)
+        remaining = self.header.entries
+        block_entries = self.header.block_entries
+        seen_blocks = 0
+        while remaining > 0:
+            if offset + _BLOCK_STRUCT.size > total:
+                raise TraceFormatError(
+                    f"{self.path}: truncated at block {seen_blocks} "
+                    f"(file ends inside the block header)"
+                )
+            payload_len, crc = _BLOCK_STRUCT.unpack_from(buffer, offset)
+            offset += _BLOCK_STRUCT.size
+            if offset + payload_len > total:
+                raise TraceFormatError(
+                    f"{self.path}: truncated at block {seen_blocks} "
+                    f"(payload needs {payload_len} bytes, file has "
+                    f"{total - offset})"
+                )
+            in_block = min(block_entries, remaining)
+            if skip_entries >= in_block:
+                skip_entries -= in_block
+            else:
+                payload = view[offset : offset + payload_len]
+                if zlib.crc32(payload) != crc:
+                    raise TraceFormatError(
+                        f"{self.path}: checksum mismatch in block "
+                        f"{seen_blocks}: the file is corrupt"
+                    )
+                yield in_block, payload
+            offset += payload_len
+            remaining -= in_block
+            seen_blocks += 1
+        if seen_blocks != self.header.blocks:
+            raise TraceFormatError(
+                f"{self.path}: header promises {self.header.blocks} blocks, "
+                f"found {seen_blocks}"
+            )
+
+    def entries(
+        self, start: int = 0, limit: Optional[int] = None, offset: int = 0
+    ) -> Iterator[TraceEntry]:
+        """Decode records ``start:start+limit``, adding ``offset`` to addresses.
+
+        Blocks before ``start`` are skipped without decoding.  Memory is
+        bounded by one block regardless of trace length.
+        """
+        if start < 0:
+            raise ValueError(f"start must be non-negative, got {start}")
+        to_yield = limit if limit is not None else self.header.entries
+        if to_yield <= 0:
+            return
+        block_entries = self.header.block_entries
+        skip_blocks_entries = (start // block_entries) * block_entries
+        drop = start - skip_blocks_entries
+        unzigzag = _unzigzag
+        read_varint = _read_varint
+        entry_new = tuple.__new__
+        entry_cls = TraceEntry
+        for in_block, payload in self._blocks(skip_entries=skip_blocks_entries):
+            position = 0
+            line = 0
+            for _ in range(in_block):
+                gap_write, position = read_varint(payload, position)
+                delta, position = read_varint(payload, position)
+                pc, position = read_varint(payload, position)
+                line += unzigzag(delta)
+                if drop > 0:
+                    drop -= 1
+                    continue
+                yield entry_new(
+                    entry_cls,
+                    (gap_write >> 1, line + offset, pc, bool(gap_write & 1)),
+                )
+                to_yield -= 1
+                if to_yield <= 0:
+                    return
+            if position != len(payload):
+                raise TraceFormatError(
+                    f"{self.path}: block payload has {len(payload) - position} "
+                    "trailing bytes after its last record"
+                )
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return self.entries()
+
+
+def read_trace(
+    path: PathLike,
+    start: int = 0,
+    limit: Optional[int] = None,
+    offset: int = 0,
+) -> Iterator[TraceEntry]:
+    """Decode a trace file lazily (constant memory; see :class:`TraceReader`)."""
+    reader = TraceReader(path)
+    return reader.entries(start=start, limit=limit, offset=offset)
+
+
+def validate_trace(path: PathLike) -> TraceHeader:
+    """Fully verify one trace file; returns its header or raises.
+
+    Checks, in order: header magic/version, every block's length and
+    CRC, record counts, per-block trailing bytes, and finally that the
+    canonical stream recomputed from the decoded entries matches the
+    embedded content digest.
+    """
+    reader = TraceReader(path)
+    digest = hashlib.sha256()
+    prev_line = 0
+    count = 0
+    record = bytearray()
+    for entry in reader.entries():
+        record.clear()
+        _encode_record(record, entry, prev_line)
+        digest.update(record)
+        prev_line = entry.line_addr
+        count += 1
+    if count != reader.header.entries:
+        raise TraceFormatError(
+            f"{path}: header promises {reader.header.entries} entries, "
+            f"decoded {count}"
+        )
+    if digest.hexdigest() != reader.header.digest:
+        raise TraceFormatError(
+            f"{path}: content digest mismatch — the payload does not match "
+            f"the header digest {reader.header.digest[:16]}..."
+        )
+    return reader.header

@@ -1,0 +1,172 @@
+"""Measure a trace and derive a synthetic :class:`BenchmarkProfile` from it.
+
+The existing calibration flow (DESIGN.md §2) tunes per-benchmark profile
+knobs — APKI, stream fraction, run length, working set, reuse — by hand
+against published numbers.  :func:`measure_trace` computes the same
+quantities directly from a recorded trace, and :func:`profile_from_trace`
+maps them onto a :class:`~repro.workloads.profiles.BenchmarkProfile`, so
+a real trace can seed the synthetic generator (e.g. to extrapolate a
+short capture to arbitrary lengths, or to add a measured workload to the
+campaign population).
+
+Stream detection mirrors what a hardware stream prefetcher would see: a
+small table of recent stream heads; an access that extends a tracked
+head by +1 line counts as sequential and extends that run.  Working-set
+size is the exact distinct-line count up to a cap (``ws_cap``), beyond
+which it is reported as the cap (the profile knob saturates long before
+that matters).  Everything runs in one streaming pass, constant memory
+apart from the bounded distinct-line set.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.trace.format import read_trace
+from repro.workloads.profiles import BenchmarkProfile
+
+_STREAM_TABLE = 16
+_RECENT = 64
+_WS_CAP = 1 << 22  # 4M distinct lines = 256 MiB of 64B lines; plenty
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Measured properties of one trace (window)."""
+
+    entries: int
+    instructions: int
+    apki: float
+    stream_fraction: float
+    run_length: float
+    num_streams: int
+    ws_lines: int
+    ws_capped: bool
+    reuse_fraction: float
+    write_fraction: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "entries": self.entries,
+            "instructions": self.instructions,
+            "apki": round(self.apki, 4),
+            "stream_fraction": round(self.stream_fraction, 4),
+            "run_length": round(self.run_length, 2),
+            "num_streams": self.num_streams,
+            "ws_lines": self.ws_lines,
+            "ws_capped": self.ws_capped,
+            "reuse_fraction": round(self.reuse_fraction, 4),
+            "write_fraction": round(self.write_fraction, 4),
+        }
+
+
+def measure_trace(
+    path,
+    *,
+    start: int = 0,
+    limit: Optional[int] = None,
+    ws_cap: int = _WS_CAP,
+) -> TraceStats:
+    """One streaming pass of measurement over a trace (window)."""
+    streams: "OrderedDict[int, int]" = OrderedDict()  # next line -> run length
+    finished_runs = 0
+    finished_run_lines = 0
+    live_streams_peak = 0
+    recent: deque = deque(maxlen=_RECENT)
+    recent_set: set = set()
+    distinct: set = set()
+    ws_capped = False
+    entries = 0
+    instructions = 0
+    writes = 0
+    stream_hits = 0
+    reuse_hits = 0
+    random_accesses = 0
+    for entry in read_trace(path, start=start, limit=limit):
+        entries += 1
+        instructions += entry.gap
+        if entry.is_write:
+            writes += 1
+        line = entry.line_addr
+        run = streams.pop(line, None)
+        if run is not None:
+            # Extends a tracked stream: sequential access.
+            stream_hits += 1
+            streams[line + 1] = run + 1
+            live_streams_peak = max(live_streams_peak, len(streams))
+        else:
+            random_accesses += 1
+            if line in recent_set:
+                reuse_hits += 1
+            # Start (or restart) a stream context at this line; evict the
+            # least-recently-extended head when the table is full.
+            if len(streams) >= _STREAM_TABLE:
+                _, evicted_run = streams.popitem(last=False)
+                if evicted_run > 1:
+                    finished_runs += 1
+                    finished_run_lines += evicted_run
+            streams[line + 1] = 1
+        if len(recent) == _RECENT:
+            oldest = recent[0]
+            recent.append(line)
+            if oldest not in recent:
+                recent_set.discard(oldest)
+            recent_set.add(line)
+        else:
+            recent.append(line)
+            recent_set.add(line)
+        if not ws_capped:
+            distinct.add(line)
+            if len(distinct) >= ws_cap:
+                ws_capped = True
+    for run in streams.values():
+        if run > 1:
+            finished_runs += 1
+            finished_run_lines += run
+    mean_run = (finished_run_lines / finished_runs) if finished_runs else 1.0
+    return TraceStats(
+        entries=entries,
+        instructions=instructions,
+        apki=(1000.0 * entries / instructions) if instructions else 0.0,
+        stream_fraction=(stream_hits / entries) if entries else 0.0,
+        run_length=mean_run,
+        num_streams=max(1, min(live_streams_peak, _STREAM_TABLE)),
+        ws_lines=len(distinct),
+        ws_capped=ws_capped,
+        reuse_fraction=(reuse_hits / random_accesses) if random_accesses else 0.0,
+        write_fraction=(writes / entries) if entries else 0.0,
+    )
+
+
+def profile_from_trace(
+    path,
+    *,
+    name: Optional[str] = None,
+    pf_class: int = 1,
+    start: int = 0,
+    limit: Optional[int] = None,
+) -> BenchmarkProfile:
+    """Derive a generator profile whose knobs match the measured trace.
+
+    The result feeds the existing calibration flow unchanged: it is a
+    plain :class:`BenchmarkProfile`, usable anywhere a named benchmark
+    is (``simulate``, campaign ``Workload`` entries, mixes).  Values are
+    clamped to the profile's validity ranges (``apki > 0``,
+    ``run_length >= 2``).
+    """
+    stats = measure_trace(path, start=start, limit=limit)
+    from pathlib import Path as _Path
+
+    return BenchmarkProfile(
+        name=name or ("trace_" + _Path(str(path)).stem),
+        pf_class=pf_class,
+        apki=max(stats.apki, 0.01),
+        stream_fraction=min(1.0, max(0.0, stats.stream_fraction)),
+        run_length=max(2, int(round(stats.run_length))),
+        num_streams=stats.num_streams,
+        ws_lines=max(1, stats.ws_lines),
+        reuse_fraction=min(1.0, max(0.0, stats.reuse_fraction)),
+        write_fraction=min(1.0, max(0.0, stats.write_fraction)),
+    )

@@ -1,0 +1,284 @@
+"""Trace-driven workloads: ``trace:<name-or-path>`` in the workload registry.
+
+A :class:`TraceWorkload` plugs into every surface that accepts a
+benchmark — ``repro.api.simulate``, campaign specs, the CLIs — and
+yields :class:`~repro.core.trace.TraceEntry` streams exactly like
+:class:`~repro.workloads.synthetic.SyntheticTraceGenerator`, including
+the per-core address-offset contract (cores get disjoint address spaces;
+the offset is added to every line address at iteration time and never
+stored in the file).
+
+**Spec syntax**::
+
+    trace:<name-or-path>[?knob=value[,knob=value...]]
+
+Knobs: ``start`` (first record, default 0), ``limit`` (records per pass,
+0 = to end of trace), ``loop`` (1 default: wrap around so a short trace
+fills a long run deterministically; 0: the core finishes when the trace
+ends).  ``&`` also separates knobs, for surfaces that split benchmark
+lists on commas (``--benchmarks swim,trace:mcf?start=100&loop=0``).
+
+``<name-or-path>`` resolves in order against (1) names registered with
+:func:`register_trace`, (2) ``<name>.rtr`` files in the directories of
+``$REPRO_TRACE_PATH`` (colon-separated), (3) a literal filesystem path.
+Unknown names fail loudly with nearest-match suggestions — campaign
+specs surface that error at validation time, before any job runs.
+
+**Identity contract** (DESIGN.md §13): a TraceWorkload hashes by the
+trace's embedded *content digest* plus its windowing knobs.  The ``path``
+and display ``name`` carry ``exclude_from_hash`` metadata, so the same
+trace at two paths shares cache entries and an edited trace invalidates
+them — the same field-level mechanism that excludes the backend knob.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.trace import TraceEntry
+from repro.trace.format import (
+    TRACE_SUFFIX,
+    TraceFormatError,
+    TraceHeader,
+    TraceReader,
+    probe_header,
+)
+
+TRACE_PREFIX = "trace:"
+TRACE_PATH_ENV = "REPRO_TRACE_PATH"
+
+_KNOWN_KNOBS = ("limit", "loop", "start")
+
+PathLike = Union[str, Path]
+
+
+class TraceLookupError(ValueError):
+    """A trace spec failed to parse or resolve; the message says how to fix it."""
+
+
+# -- the name registry --------------------------------------------------------
+
+_REGISTRY: Dict[str, str] = {}
+
+
+def register_trace(name: str, path: PathLike) -> None:
+    """Bind ``trace:<name>`` to a trace file for this process.
+
+    The file must exist and carry a valid header — registration fails
+    loudly rather than deferring the error to simulation time.
+    """
+    if not name or not all(c.isalnum() or c in "._-" for c in name):
+        raise TraceLookupError(
+            f"trace name {name!r} must be non-empty and use only letters, "
+            "digits, '.', '_' or '-'"
+        )
+    probe_header(path)  # raises TraceFormatError on anything unreadable
+    _REGISTRY[name] = str(path)
+
+
+def unregister_traces() -> None:
+    """Clear the in-process registry (test isolation)."""
+    _REGISTRY.clear()
+
+
+def _search_dirs() -> List[Path]:
+    raw = os.environ.get(TRACE_PATH_ENV, "")
+    return [Path(part).expanduser() for part in raw.split(os.pathsep) if part]
+
+
+def discovered_traces() -> Dict[str, str]:
+    """Name → path of every trace reachable by name right now.
+
+    Registered names first, then ``*.rtr`` files found in
+    ``$REPRO_TRACE_PATH`` directories (first hit wins, mirroring how
+    ``$PATH`` works).
+    """
+    found: Dict[str, str] = dict(_REGISTRY)
+    for directory in _search_dirs():
+        try:
+            candidates = sorted(directory.glob("*" + TRACE_SUFFIX))
+        except OSError:
+            continue
+        for candidate in candidates:
+            found.setdefault(candidate.stem, str(candidate))
+    return found
+
+
+# -- spec parsing -------------------------------------------------------------
+
+
+def _suggest(name: str, known) -> str:
+    close = difflib.get_close_matches(name, list(known), n=3)
+    return f" (did you mean {', '.join(close)}?)" if close else ""
+
+
+def parse_trace_spec(spec: str) -> Tuple[str, Dict[str, int]]:
+    """Split ``trace:<token>?knobs`` into the token and validated knobs."""
+    if not spec.startswith(TRACE_PREFIX):
+        raise TraceLookupError(
+            f"{spec!r} is not a trace spec (expected a {TRACE_PREFIX!r} prefix)"
+        )
+    body = spec[len(TRACE_PREFIX) :]
+    token, _, options = body.partition("?")
+    if not token:
+        raise TraceLookupError(
+            f"{spec!r}: empty trace name; use trace:<name-or-path>"
+        )
+    knobs: Dict[str, int] = {}
+    if options:
+        # "&" is an alternate knob separator for surfaces that split
+        # benchmark lists on commas (e.g. --benchmarks a,trace:b?start=1).
+        for part in options.replace("&", ",").split(","):
+            key, separator, value = part.partition("=")
+            key = key.strip()
+            if not separator or key not in _KNOWN_KNOBS:
+                raise TraceLookupError(
+                    f"{spec!r}: unknown trace knob {key!r}"
+                    f"{_suggest(key, _KNOWN_KNOBS)}; known knobs: "
+                    f"{', '.join(_KNOWN_KNOBS)} (e.g. trace:name?start=0,loop=1)"
+                )
+            try:
+                knobs[key] = int(value)
+            except ValueError:
+                raise TraceLookupError(
+                    f"{spec!r}: trace knob {key}={value!r} is not an integer"
+                ) from None
+    start = knobs.get("start", 0)
+    limit = knobs.get("limit", 0)
+    loop = knobs.get("loop", 1)
+    if start < 0:
+        raise TraceLookupError(f"{spec!r}: start must be >= 0, got {start}")
+    if limit < 0:
+        raise TraceLookupError(f"{spec!r}: limit must be >= 0 (0 = to end), got {limit}")
+    if loop not in (0, 1):
+        raise TraceLookupError(f"{spec!r}: loop must be 0 or 1, got {loop}")
+    return token, {"start": start, "limit": limit, "loop": loop}
+
+
+def _locate(token: str, spec: str) -> str:
+    known = discovered_traces()
+    if token in known:
+        return known[token]
+    candidate = Path(token).expanduser()
+    if candidate.is_file():
+        return str(candidate)
+    # Build the suggestion pool: reachable names plus .rtr siblings of a
+    # path-looking token (the classic typo is one directory level off).
+    pool = set(known)
+    if candidate.parent != Path("."):
+        try:
+            pool.update(str(p) for p in candidate.parent.glob("*" + TRACE_SUFFIX))
+        except OSError:
+            pass
+    hint = (
+        f"; known traces: {', '.join(sorted(known))}"
+        if known
+        else (
+            "; no traces are registered — convert one with "
+            "'python -m repro.trace convert' and point $REPRO_TRACE_PATH "
+            "at its directory (or pass its path)"
+        )
+    )
+    raise TraceLookupError(
+        f"{spec!r}: unknown trace {token!r}{_suggest(token, pool)}{hint}"
+    )
+
+
+# -- the workload -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceWorkload:
+    """One file-backed workload, identified by content digest.
+
+    ``digest``/``start``/``limit``/``loop`` are the identity (what the
+    cache key hashes); ``name`` and ``path`` are presentation and
+    location, excluded from hashing at the field — two spellings of the
+    same content are the same workload.
+    """
+
+    digest: str
+    start: int = 0
+    limit: int = 0  # 0 = to end of trace
+    loop: bool = True
+    name: str = field(default="trace", metadata={"exclude_from_hash": True})
+    path: str = field(default="", metadata={"exclude_from_hash": True})
+
+    def __post_init__(self):
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.limit < 0:
+            raise ValueError(f"limit must be >= 0, got {self.limit}")
+
+    def header(self) -> TraceHeader:
+        return probe_header(self.path)
+
+    def window_entries(self) -> int:
+        """Records in one pass of the configured window."""
+        total = self.header().entries
+        available = max(0, total - self.start)
+        return min(available, self.limit) if self.limit else available
+
+    def entries(self, offset: int = 0) -> Iterator[TraceEntry]:
+        """Yield the windowed record stream, ``offset`` added to addresses.
+
+        With ``loop`` the stream restarts from ``start`` each time the
+        window is exhausted (an infinite iterator, like the synthetic
+        generator); without it the stream ends and the core finishes
+        early.  Deterministic: replaying a trace involves no randomness,
+        so the simulation seed does not perturb it.
+        """
+        header = probe_header(self.path)
+        if header.digest != self.digest:
+            raise TraceFormatError(
+                f"{self.path}: content digest {header.digest[:16]}... does not "
+                f"match this workload's {self.digest[:16]}... — the file "
+                "changed after the workload was resolved"
+            )
+        window = self.window_entries()
+        if window <= 0:
+            return
+        limit = self.limit if self.limit else None
+        reader = TraceReader(self.path)
+        while True:
+            for entry in reader.entries(start=self.start, limit=limit, offset=offset):
+                yield entry
+            if not self.loop:
+                return
+
+
+def resolve_trace(spec: str, *, name: Optional[str] = None) -> TraceWorkload:
+    """Resolve a ``trace:`` spec (or bare path) into a :class:`TraceWorkload`.
+
+    Reads the file's embedded content digest, which becomes the
+    workload's cache identity.  Raises :class:`TraceLookupError` (spec or
+    lookup problems) or :class:`~repro.trace.format.TraceFormatError`
+    (the file is not a readable trace).
+    """
+    if not spec.startswith(TRACE_PREFIX):
+        spec = TRACE_PREFIX + spec
+    token, knobs = parse_trace_spec(spec)
+    path = _locate(token, spec)
+    header = probe_header(path)
+    return TraceWorkload(
+        digest=header.digest,
+        start=knobs["start"],
+        limit=knobs["limit"],
+        loop=bool(knobs["loop"]),
+        name=name if name is not None else token,
+        path=path,
+    )
+
+
+def validate_trace_spec(spec: str) -> TraceWorkload:
+    """Campaign-validation entry point: parse, resolve and probe one spec.
+
+    Returns the resolved workload so callers can report its digest; any
+    failure raises with an actionable, did-you-mean-style message before
+    a single job runs.
+    """
+    return resolve_trace(spec)

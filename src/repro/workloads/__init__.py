@@ -15,14 +15,22 @@ from repro.workloads.profiles import (
     get_profile,
     profiles_by_class,
 )
+from repro.workloads.resolve import (
+    canonical_workload,
+    is_trace_spec,
+    resolve_workload,
+)
 from repro.workloads.suite import make_trace, named_mix, random_mix, workload_mixes
 from repro.workloads.synthetic import SyntheticTraceGenerator
 
 __all__ = [
     "BenchmarkProfile",
     "ALL_BENCHMARKS",
+    "canonical_workload",
     "get_profile",
+    "is_trace_spec",
     "profiles_by_class",
+    "resolve_workload",
     "SyntheticTraceGenerator",
     "make_trace",
     "named_mix",

@@ -1,0 +1,79 @@
+"""One front door for every way to name a workload.
+
+The simulator historically accepted benchmark names (``"swim"``) and
+:class:`BenchmarkProfile` values.  The trace subsystem (DESIGN.md §13)
+adds ``trace:<name-or-path>`` specs and :class:`TraceWorkload` values;
+this module is the single resolution point all consumers share —
+``System``, ``SimJob`` cache keying, and the campaign validator — so a
+workload means the same thing on every surface.
+
+:mod:`repro.trace` is imported lazily: the synthetic path keeps its
+import graph (and cold-start cost) unchanged, and ``repro.runtime`` can
+call :func:`canonical_workload` without a circular import.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.workloads.profiles import BenchmarkProfile, get_profile
+
+TRACE_PREFIX = "trace:"
+
+WorkloadLike = Union[str, BenchmarkProfile, "object"]
+
+
+def is_trace_spec(workload) -> bool:
+    """True for ``trace:`` spec strings (cheap, import-free check)."""
+    return isinstance(workload, str) and workload.startswith(TRACE_PREFIX)
+
+
+def resolve_workload(workload):
+    """Resolve any workload spelling to its runnable object.
+
+    * ``BenchmarkProfile`` / ``TraceWorkload`` values pass through;
+    * ``"trace:..."`` strings resolve through the trace registry
+      (:func:`repro.trace.resolve_trace` — raises ``TraceLookupError``
+      with nearest-match suggestions on unknown names);
+    * every other string is a benchmark-profile name.
+    """
+    if isinstance(workload, BenchmarkProfile):
+        return workload
+    if is_trace_spec(workload):
+        from repro.trace import resolve_trace
+
+        return resolve_trace(workload)
+    if isinstance(workload, str):
+        return get_profile(workload)
+    from repro.trace import TraceWorkload
+
+    if isinstance(workload, TraceWorkload):
+        return workload
+    raise TypeError(
+        f"cannot resolve workload {workload!r} "
+        f"({type(workload).__name__}); expected a benchmark name, a "
+        f"BenchmarkProfile, a {TRACE_PREFIX}<name-or-path> spec, or a "
+        "TraceWorkload"
+    )
+
+
+def canonical_workload(workload):
+    """The hashable identity of a workload, for cache keys.
+
+    Plain benchmark names stay strings (their profiles live in code, so
+    the name *is* the content identity — any profile change ships with a
+    ``CACHE_VERSION`` bump).  ``trace:`` specs and ``TraceWorkload``
+    values canonicalize to the dataclass form whose hashed fields are
+    the trace's embedded content digest plus windowing knobs — never the
+    filesystem path, so the same trace at two paths shares cache entries
+    and an edited trace invalidates them.
+    """
+    # Lazy: repro.runtime imports repro.sim (for result types), which
+    # imports this package — a module-level import here would be a cycle.
+    from repro.runtime.hashing import canonicalize
+
+    if is_trace_spec(workload):
+        from repro.trace import resolve_trace
+
+        return canonicalize(resolve_trace(workload))
+    return canonicalize(workload)

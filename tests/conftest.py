@@ -33,8 +33,15 @@ def _isolated_runtime(tmp_path, monkeypatch):
     # conservation laws (repro/validate).  An explicit REPRO_CHECK in the
     # environment (e.g. REPRO_CHECK=0 while bisecting) still wins.
     monkeypatch.setenv("REPRO_CHECK", os.environ.get("REPRO_CHECK", "1"))
+    # Trace workloads must never leak across tests: drop any registered
+    # names and ignore a $REPRO_TRACE_PATH from the invoking shell.
+    monkeypatch.delenv("REPRO_TRACE_PATH", raising=False)
+    from repro.trace import unregister_traces
+
+    unregister_traces()
     repro_runtime.reset()
     yield
+    unregister_traces()
     repro_runtime.reset()
 
 

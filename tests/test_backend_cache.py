@@ -73,8 +73,9 @@ class TestHashExclusion:
 
 class TestCacheVersion:
     def test_version_bumped_for_event_backend(self):
-        # v5 is the skip-ahead-backend bump; pre-PR entries must miss.
-        assert CACHE_VERSION == 5
+        # v5 was the skip-ahead-backend bump; v6 is the trace-subsystem
+        # bump (canonical_workload keying).  Pre-bump entries must miss.
+        assert CACHE_VERSION >= 6
 
     def test_version_bump_invalidates_every_key(self, monkeypatch):
         job = _make_job(_config(), MIX, 300, 0)

@@ -1,0 +1,249 @@
+"""The ``.rtr`` binary trace format: round-trips, rejection, digests."""
+
+import os
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trace import TraceEntry
+from repro.trace.format import (
+    FORMAT_VERSION,
+    HEADER_SIZE,
+    TraceFormatError,
+    TraceReader,
+    TraceWriter,
+    probe_header,
+    read_trace,
+    trace_digest,
+    validate_trace,
+    write_trace,
+)
+
+entry_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1 << 20),  # gap
+        st.integers(min_value=0, max_value=1 << 58),  # line_addr
+        st.integers(min_value=0, max_value=1 << 48),  # pc
+        st.booleans(),  # is_write
+    ).map(lambda t: TraceEntry(*t)),
+    max_size=60,
+)
+
+
+def _sample_entries(count, seed=0):
+    """A deterministic mixed stream: strides, jumps, writes, big values."""
+    import random
+
+    rng = random.Random(seed)
+    line = 1 << 40
+    entries = []
+    for i in range(count):
+        if rng.random() < 0.7:
+            line += 1
+        else:
+            line = rng.randrange(1 << 50)
+        entries.append(
+            TraceEntry(
+                gap=rng.randrange(0, 500),
+                line_addr=line,
+                pc=rng.randrange(1 << 44),
+                is_write=rng.random() < 0.2,
+            )
+        )
+    return entries
+
+
+# -- round trips -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("count", [0, 1, 3, 4, 5, 8, 9, 100])
+def test_round_trip_at_block_boundaries(tmp_path, count):
+    # block_entries=4 exercises exact-fit, one-over and partial last blocks.
+    entries = _sample_entries(count, seed=count)
+    path = tmp_path / "t.rtr"
+    header = write_trace(path, entries, block_entries=4)
+    assert header.entries == count
+    assert header.blocks == (count + 3) // 4
+    assert list(read_trace(path)) == entries
+    validate_trace(path)
+
+
+@given(entries=entry_lists)
+@settings(max_examples=60, deadline=None)
+def test_round_trip_property(tmp_path_factory, entries):
+    path = tmp_path_factory.mktemp("rtr") / "t.rtr"
+    write_trace(path, entries, block_entries=7)
+    assert list(read_trace(path)) == entries
+
+
+@given(entries=entry_lists)
+@settings(max_examples=30, deadline=None)
+def test_digest_independent_of_block_size(tmp_path_factory, entries):
+    root = tmp_path_factory.mktemp("rtr")
+    small = write_trace(root / "small.rtr", entries, block_entries=3)
+    large = write_trace(root / "large.rtr", entries, block_entries=1000)
+    assert small.digest == large.digest
+    # ... and the digest distinguishes different content.
+    if entries:
+        bumped = entries[:-1] + [
+            entries[-1]._replace(line_addr=entries[-1].line_addr + 1)
+        ]
+        other = write_trace(root / "other.rtr", bumped, block_entries=3)
+        assert other.digest != small.digest
+
+
+def test_windowed_reads_and_offset(tmp_path):
+    entries = _sample_entries(50, seed=9)
+    path = tmp_path / "t.rtr"
+    write_trace(path, entries, block_entries=8)
+    assert list(read_trace(path, start=13, limit=11)) == entries[13:24]
+    assert list(read_trace(path, start=48)) == entries[48:]
+    assert list(read_trace(path, start=200)) == []
+    shifted = list(read_trace(path, limit=5, offset=1 << 54))
+    assert [e.line_addr for e in shifted] == [
+        e.line_addr + (1 << 54) for e in entries[:5]
+    ]
+    # Everything else survives the offset untouched.
+    assert [(e.gap, e.pc, e.is_write) for e in shifted] == [
+        (e.gap, e.pc, e.is_write) for e in entries[:5]
+    ]
+
+
+def test_writer_limit_and_infinite_stream(tmp_path):
+    def forever():
+        line = 0
+        while True:
+            line += 1
+            yield TraceEntry(1, line, 0, False)
+
+    header = write_trace(tmp_path / "t.rtr", forever(), limit=1000, block_entries=64)
+    assert header.entries == 1000
+
+
+def test_writer_abort_leaves_nothing(tmp_path):
+    path = tmp_path / "t.rtr"
+    with pytest.raises(RuntimeError):
+        with TraceWriter(path):
+            raise RuntimeError("boom")
+    assert not path.exists()
+    assert list(tmp_path.iterdir()) == []  # no temp litter either
+
+
+def test_writer_rejects_negative_fields(tmp_path):
+    with TraceWriter(tmp_path / "t.rtr") as writer:
+        with pytest.raises(ValueError):
+            writer.append(TraceEntry(-1, 0, 0, False))
+        writer.append(TraceEntry(0, 0, 0, False))
+
+
+def test_writer_rejects_bad_block_entries(tmp_path):
+    with pytest.raises(ValueError):
+        TraceWriter(tmp_path / "t.rtr", block_entries=0)
+
+
+# -- rejection ---------------------------------------------------------------
+
+
+def _write_sample(tmp_path, count=40, block_entries=8):
+    path = tmp_path / "t.rtr"
+    entries = _sample_entries(count, seed=1)
+    write_trace(path, entries, block_entries=block_entries)
+    return path
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = _write_sample(tmp_path)
+    raw = bytearray(path.read_bytes())
+    raw[:4] = b"NOPE"
+    path.write_bytes(bytes(raw))
+    with pytest.raises(TraceFormatError, match="bad magic"):
+        probe_header(path)
+
+
+def test_future_version_rejected(tmp_path):
+    path = _write_sample(tmp_path)
+    raw = bytearray(path.read_bytes())
+    struct.pack_into("<H", raw, 4, FORMAT_VERSION + 1)
+    path.write_bytes(bytes(raw))
+    with pytest.raises(TraceFormatError, match="version"):
+        probe_header(path)
+
+
+def test_short_file_rejected(tmp_path):
+    path = tmp_path / "t.rtr"
+    path.write_bytes(b"RPTR123")
+    with pytest.raises(TraceFormatError, match="too short"):
+        probe_header(path)
+
+
+def test_truncated_payload_rejected(tmp_path):
+    path = _write_sample(tmp_path)
+    raw = path.read_bytes()
+    path.write_bytes(raw[:-5])
+    with pytest.raises(TraceFormatError, match="truncated"):
+        list(read_trace(path))
+
+
+def test_corrupt_block_rejected(tmp_path):
+    path = _write_sample(tmp_path)
+    raw = bytearray(path.read_bytes())
+    raw[-1] ^= 0xFF  # flip a payload byte in the last block
+    path.write_bytes(bytes(raw))
+    with pytest.raises(TraceFormatError, match="checksum"):
+        list(read_trace(path))
+
+
+def test_digest_mismatch_caught_by_validate(tmp_path):
+    path = _write_sample(tmp_path)
+    raw = bytearray(path.read_bytes())
+    raw[32] ^= 0xFF  # flip a digest byte: blocks still decode and CRC fine
+    path.write_bytes(bytes(raw))
+    assert list(read_trace(path))  # plain decode does not recompute digests
+    with pytest.raises(TraceFormatError, match="digest mismatch"):
+        validate_trace(path)
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(TraceFormatError, match="cannot stat"):
+        probe_header(tmp_path / "absent.rtr")
+
+
+# -- header probing ----------------------------------------------------------
+
+
+def test_probe_header_tracks_edits(tmp_path):
+    path = tmp_path / "t.rtr"
+    write_trace(path, _sample_entries(10, seed=1))
+    first = trace_digest(path)
+    write_trace(path, _sample_entries(10, seed=2))
+    os.utime(path, ns=(1, 1))  # defeat mtime granularity deliberately ...
+    os.utime(path, ns=(2, 2))  # ... then move it again: distinct stat key
+    assert trace_digest(path) != first
+
+
+def test_copied_file_probes_equal(tmp_path):
+    a = tmp_path / "a.rtr"
+    b = tmp_path / "sub" / "b.rtr"
+    write_trace(a, _sample_entries(10, seed=3))
+    b.parent.mkdir()
+    b.write_bytes(a.read_bytes())
+    assert trace_digest(a) == trace_digest(b)
+
+
+def test_reader_context_manager(tmp_path):
+    path = _write_sample(tmp_path, count=5)
+    with TraceReader(path) as reader:
+        assert reader.header.entries == 5
+        assert len(list(reader)) == 5
+
+
+def test_empty_trace(tmp_path):
+    path = tmp_path / "t.rtr"
+    header = write_trace(path, [])
+    assert header.entries == 0
+    assert header.blocks == 0
+    assert os.path.getsize(path) == HEADER_SIZE
+    assert list(read_trace(path)) == []
+    validate_trace(path)

@@ -1,0 +1,71 @@
+"""Constant-memory streaming: a 1M+-entry trace decodes in bounded memory."""
+
+import tracemalloc
+
+from repro.core.trace import TraceEntry
+from repro.trace.format import TraceReader, write_trace
+
+ENTRIES = 1_200_000
+BLOCK_ENTRIES = 8192
+
+# Decode must be bounded by one block, not by trace length.  One decoded
+# block is ~10 KB of payload plus transient record tuples; 8 MiB gives a
+# ~100x cushion over that while still being ~50x below what holding the
+# 1.2M decoded entries would need (~160 MB), so a buffer-the-whole-file
+# regression cannot slip under this bound.
+PEAK_LIMIT_BYTES = 8 * 1024 * 1024
+
+
+def _arith_entries(count):
+    """A cheap deterministic stream: strided lines, periodic jumps."""
+    line = 1 << 30
+    for i in range(count):
+        line = line + 1 if i % 64 else (i * 2654435761) % (1 << 44)
+        yield TraceEntry(i % 7, line, 0x400000 + (i % 13), i % 11 == 0)
+
+
+def test_million_entry_trace_decodes_in_constant_memory(tmp_path):
+    path = tmp_path / "big.rtr"
+    written_sum = [0]
+
+    def counting(entries):
+        for entry in entries:
+            written_sum[0] += entry.line_addr
+            yield entry
+
+    header = write_trace(
+        path, counting(_arith_entries(ENTRIES)), block_entries=BLOCK_ENTRIES
+    )
+    assert header.entries == ENTRIES
+    assert header.blocks == (ENTRIES + BLOCK_ENTRIES - 1) // BLOCK_ENTRIES
+
+    reader = TraceReader(path)
+    decoded = 0
+    checksum = 0
+    tracemalloc.start()
+    try:
+        for entry in reader.entries():
+            decoded += 1
+            checksum += entry.line_addr
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert decoded == ENTRIES
+    assert checksum == written_sum[0]
+    assert peak < PEAK_LIMIT_BYTES, (
+        f"decode peak {peak / 1e6:.1f} MB exceeds the constant-memory bound"
+    )
+
+
+def test_windowed_read_skips_blocks_in_constant_memory(tmp_path):
+    path = tmp_path / "big.rtr"
+    write_trace(path, _arith_entries(400_000), block_entries=BLOCK_ENTRIES)
+    reader = TraceReader(path)
+    tracemalloc.start()
+    try:
+        tail = list(reader.entries(start=399_990))
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert len(tail) == 10
+    assert peak < PEAK_LIMIT_BYTES

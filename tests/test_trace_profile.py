@@ -1,0 +1,103 @@
+"""Trace measurement and BenchmarkProfile derivation."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.core.trace import TraceEntry
+from repro.params import baseline_config
+from repro.trace.format import write_trace
+from repro.trace.profile import measure_trace, profile_from_trace
+from repro.workloads import make_trace
+from repro.workloads.profiles import BenchmarkProfile
+
+
+def _streaming_entries(count, run=100, gap=40):
+    """Pure sequential streams with a jump every ``run`` accesses."""
+    line = 1 << 20
+    for i in range(count):
+        if i and i % run == 0:
+            line += 1 << 12  # new stream, far away
+        else:
+            line += 1
+        yield TraceEntry(gap, line, 0x400, False)
+
+
+def _random_entries(count, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield TraceEntry(
+            rng.randrange(10, 60),
+            rng.randrange(1 << 30),
+            0x400,
+            rng.random() < 0.3,
+        )
+
+
+def test_measure_streaming_trace(tmp_path):
+    path = tmp_path / "s.rtr"
+    write_trace(path, _streaming_entries(5000, run=100, gap=40))
+    stats = measure_trace(path)
+    assert stats.entries == 5000
+    assert stats.apki == pytest.approx(1000 / 40, rel=0.01)
+    assert stats.stream_fraction > 0.9
+    assert stats.run_length > 50
+    assert stats.write_fraction == 0.0
+    assert not stats.ws_capped
+
+
+def test_measure_random_trace(tmp_path):
+    path = tmp_path / "r.rtr"
+    write_trace(path, _random_entries(3000))
+    stats = measure_trace(path)
+    assert stats.stream_fraction < 0.05
+    assert 0.2 < stats.write_fraction < 0.4
+    assert stats.ws_lines > 2900  # essentially no reuse at this density
+
+
+def test_measure_window(tmp_path):
+    path = tmp_path / "s.rtr"
+    write_trace(path, _streaming_entries(1000))
+    assert measure_trace(path, start=100, limit=50).entries == 50
+
+
+def test_ws_cap(tmp_path):
+    path = tmp_path / "r.rtr"
+    write_trace(path, _random_entries(2000, seed=3))
+    stats = measure_trace(path, ws_cap=500)
+    assert stats.ws_capped
+    assert stats.ws_lines == 500
+
+
+def test_profile_from_trace_is_usable(tmp_path):
+    path = tmp_path / "s.rtr"
+    write_trace(path, _streaming_entries(4000))
+    profile = profile_from_trace(path, name="captured")
+    assert isinstance(profile, BenchmarkProfile)
+    assert profile.name == "captured"
+    assert profile.apki > 0
+    assert profile.run_length >= 2
+    # The derived profile feeds the normal synthetic flow end to end.
+    result = api.simulate(
+        baseline_config(1, policy="demand-first"), [profile], 500
+    )
+    assert result.cores[0].loads == 500
+    assert result.cores[0].benchmark == "captured"
+
+
+def test_profile_roundtrip_recovers_character(tmp_path):
+    """Synthetic swim -> trace -> measured profile stays swim-like."""
+    source = Path(tmp_path) / "swim.rtr"
+    write_trace(source, make_trace("swim", seed=0), limit=20000)
+    from repro.workloads.profiles import get_profile
+
+    reference = get_profile("swim")
+    derived = profile_from_trace(source)
+    assert derived.apki == pytest.approx(reference.apki, rel=0.25)
+    assert derived.stream_fraction == pytest.approx(
+        reference.stream_fraction, abs=0.15
+    )
+    assert derived.name == "trace_swim"
