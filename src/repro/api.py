@@ -12,6 +12,15 @@ Three verbs, one vocabulary:
   are bit-for-bit identical either way.
 * :func:`campaign` — a whole sweep (a :class:`CampaignSpec`, a preset
   name, or a spec dict) through the resumable campaign executor.
+* :class:`Campaign` — the handle over a persistent campaign directory:
+  ``Campaign.create(spec)`` / :func:`campaign_open` bind it, then
+  ``.status()``, ``.export()``, ``.progress()``, ``.metrics()`` and
+  ``.stream()`` read it — the one object the CLI, the HTTP service and
+  the dashboard all route through.
+
+The older free functions (``campaign_create`` / ``campaign_status`` /
+``campaign_export``) still work but are deprecated thin wrappers over
+the handle and emit :class:`DeprecationWarning`.
 
 ``repro.experiments``, the examples and both CLIs call through this
 module, so its signatures are the project's compatibility surface.
@@ -19,7 +28,9 @@ module, so its signatures are the project's compatibility surface.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+import time as _time
+import warnings
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.params import SystemConfig
 from repro.runtime import Runtime, SimJob, get_runtime
@@ -185,6 +196,230 @@ def _coerce_spec(spec):
     return spec
 
 
+class Campaign:
+    """Handle over one persistent campaign directory.
+
+    The unified front door to a campaign's lifecycle after submission:
+
+    >>> handle = api.Campaign.create("smoke", backend="sqlite")
+    >>> handle.status()["counts"]
+    >>> handle.export(fmt="csv")
+    >>> for row in handle.stream(follow=True): ...   # live samples
+    >>> handle.metrics()["progress"]["eta_seconds"]  # dashboard payload
+
+    All constructor and method knobs are keyword-only.  The handle wraps
+    the executor-level :class:`repro.campaign.Campaign` (exposed as
+    ``.inner`` for execution-layer code) plus the runtime whose result
+    store exports read from.
+    """
+
+    def __init__(self, inner, *, runtime: Optional[Runtime] = None):
+        self._inner = inner
+        self._runtime = runtime
+
+    # -- binding ---------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        spec,
+        *,
+        directory=None,
+        backend: Optional[str] = None,
+        root=None,
+        runtime: Optional[Runtime] = None,
+    ) -> "Campaign":
+        """Create (or idempotently reopen) a campaign without executing it.
+
+        The submission half of the campaign service: bind ``spec`` (a
+        :class:`~repro.campaign.CampaignSpec`, preset name, or spec
+        dict) to its directory, snapshot it, and — on the sqlite
+        backend — enqueue the full job expansion so workers
+        (``python -m repro.campaign worker``) can start claiming.
+        ``root`` overrides the campaigns root the default directory is
+        derived under.
+        """
+        from pathlib import Path
+
+        from repro.campaign import executor as _executor
+
+        spec = _coerce_spec(spec)
+        if directory is None:
+            base = Path(root) if root is not None else _executor.campaigns_root()
+            directory = base / f"{spec.name}-{spec.fingerprint()[:12]}"
+        created = _executor.Campaign.create(spec, directory, backend=backend)
+        store = created.ledger
+        if hasattr(store, "ensure_jobs"):
+            from repro.campaign.worker import job_meta
+
+            store.ensure_jobs(
+                [(job.key, job_meta(job)) for job in created.unique_jobs()]
+            )
+        return cls(created, runtime=runtime)
+
+    @classmethod
+    def open(
+        cls,
+        directory,
+        *,
+        backend: Optional[str] = None,
+        runtime: Optional[Runtime] = None,
+    ) -> "Campaign":
+        """Bind an existing campaign directory (see :func:`campaign_open`)."""
+        from repro.campaign import executor as _executor
+
+        return cls(_executor.Campaign.open(directory, backend=backend), runtime=runtime)
+
+    # -- identity --------------------------------------------------------------
+
+    @property
+    def inner(self):
+        """The executor-level campaign (spec + directory + job store)."""
+        return self._inner
+
+    @property
+    def directory(self):
+        return self._inner.directory
+
+    @property
+    def spec(self):
+        return self._inner.spec
+
+    @property
+    def name(self) -> str:
+        return self._inner.spec.name
+
+    @property
+    def backend(self) -> str:
+        return self._inner.backend
+
+    def unique_jobs(self):
+        return self._inner.unique_jobs()
+
+    def __repr__(self) -> str:
+        return (
+            f"api.Campaign({self.name!r}, directory={str(self.directory)!r}, "
+            f"backend={self.backend!r})"
+        )
+
+    # -- reads -----------------------------------------------------------------
+
+    def status(self) -> Dict:
+        """Identity + status histogram as plain JSON-able data."""
+        from repro.campaign.report import status_summary
+
+        inner = self._inner
+        counts = inner.status_counts()
+        return {
+            "id": inner.directory.name,
+            "directory": str(inner.directory),
+            "name": inner.spec.name,
+            "backend": inner.backend,
+            "fingerprint": inner.spec.fingerprint(),
+            "total": len(inner.unique_jobs()),
+            "counts": counts,
+            "complete": counts.get("done", 0) == len(inner.unique_jobs()),
+            "text": status_summary(inner),
+        }
+
+    def export(self, *, fmt: str = "csv") -> str:
+        """Deterministic CSV/JSON export (any backend, streamed or not)."""
+        from repro.campaign.report import export as _export
+
+        runtime = self._runtime or get_runtime()
+        return _export(self._inner, runtime.store, fmt=fmt)
+
+    def progress(self) -> Dict:
+        """Live progress: counts, ETA, per-job states + sample counts."""
+        from repro.dashboard.aggregate import progress as _progress
+
+        return _progress(self._inner)
+
+    def metrics(self, *, max_jobs: Optional[int] = None) -> Dict:
+        """The full dashboard payload (progress + series + fdp + pressure)."""
+        from repro.dashboard.aggregate import campaign_metrics
+
+        return campaign_metrics(self._inner, max_jobs=max_jobs)
+
+    def stream(
+        self,
+        *,
+        after: int = 0,
+        key: Optional[str] = None,
+        follow: bool = False,
+        poll: float = 0.5,
+        timeout: Optional[float] = None,
+    ) -> Iterator[Dict]:
+        """Iterate streamed sample rows, optionally tailing the store.
+
+        Yields ``{"id", "key", "idx", "record"}`` rows in landing order,
+        starting after cursor ``after`` (a previously-yielded ``id``).
+        ``key`` restricts to one job.  ``follow=True`` keeps polling
+        every ``poll`` seconds for new rows until the campaign is
+        complete (or ``timeout`` seconds elapse); otherwise one pass
+        over what has landed.
+        """
+        store = self._inner.ledger
+        cursor = int(after)
+        deadline = None if timeout is None else _time.monotonic() + float(timeout)
+        while True:
+            rows, cursor = store.samples_since(cursor, key=key)
+            for row in rows:
+                yield row
+            if not follow:
+                return
+            counts = self._inner.status_counts()
+            total = len(self._inner.unique_jobs())
+            if counts.get("done", 0) + counts.get("failed", 0) >= total:
+                # Terminal: drain whatever landed after the last poll.
+                rows, cursor = store.samples_since(cursor, key=key)
+                for row in rows:
+                    yield row
+                return
+            if deadline is not None and _time.monotonic() >= deadline:
+                return
+            _time.sleep(max(0.05, float(poll)))
+
+    def fold_trace(self, key: str):
+        """Fold one job's streamed samples back into its ``SimTrace``.
+
+        Returns ``None`` when the job has streamed nothing yet; raises
+        :class:`~repro.telemetry.stream.StreamError` on a torn/partial
+        stream (a header with no intervals folds fine — zero-interval
+        traces are valid).
+        """
+        from repro.telemetry.stream import fold_samples
+
+        records = self._inner.ledger.samples(key)
+        if not records:
+            return None
+        return fold_samples(records)
+
+
+def campaign_open(
+    directory,
+    *,
+    backend: Optional[str] = None,
+    runtime: Optional[Runtime] = None,
+) -> Campaign:
+    """Bind an existing campaign directory to a :class:`Campaign` handle.
+
+    The read-side entry point: ``campaign_open(d).status()`` replaces the
+    deprecated ``campaign_status(d)``, ``.export(fmt=...)`` replaces
+    ``campaign_export(d, ...)``, and ``.stream()`` / ``.metrics()`` are
+    the live-telemetry surface the dashboard polls.
+    """
+    return Campaign.open(directory, backend=backend, runtime=runtime)
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"api.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def campaign_create(
     spec,
     *,
@@ -192,64 +427,25 @@ def campaign_create(
     backend: Optional[str] = None,
     root=None,
 ):
-    """Create (or idempotently reopen) a campaign without executing it.
+    """Deprecated: use :meth:`Campaign.create`.
 
-    This is the submission half of the campaign service: bind ``spec``
-    (a :class:`~repro.campaign.CampaignSpec`, preset name, or spec dict)
-    to its directory, snapshot it, and — on the sqlite backend — enqueue
-    the full job expansion so workers (``python -m repro.campaign
-    worker``) can start claiming.  ``root`` overrides the campaigns root
-    the default directory is derived under.  Returns the
-    :class:`~repro.campaign.Campaign`.
+    Returns the executor-level campaign (the pre-handle return type), so
+    existing callers keep working unchanged.
     """
-    from pathlib import Path
-
-    from repro.campaign import executor as _executor
-
-    spec = _coerce_spec(spec)
-    if directory is None:
-        base = Path(root) if root is not None else _executor.campaigns_root()
-        directory = base / f"{spec.name}-{spec.fingerprint()[:12]}"
-    created = _executor.Campaign.create(spec, directory, backend=backend)
-    store = created.ledger
-    if hasattr(store, "ensure_jobs"):
-        from repro.campaign.worker import job_meta
-
-        store.ensure_jobs(
-            [(job.key, job_meta(job)) for job in created.unique_jobs()]
-        )
-    return created
+    _deprecated("campaign_create(...)", "api.Campaign.create(...)")
+    return Campaign.create(spec, directory=directory, backend=backend, root=root).inner
 
 
 def campaign_status(directory) -> dict:
-    """One campaign's identity + status histogram as plain JSON-able data."""
-    from repro.campaign import executor as _executor
-
-    opened = _executor.Campaign.open(directory)
-    counts = opened.status_counts()
-    from repro.campaign.report import status_summary
-
-    return {
-        "id": opened.directory.name,
-        "directory": str(opened.directory),
-        "name": opened.spec.name,
-        "backend": opened.backend,
-        "fingerprint": opened.spec.fingerprint(),
-        "total": len(opened.unique_jobs()),
-        "counts": counts,
-        "complete": counts.get("done", 0) == len(opened.unique_jobs()),
-        "text": status_summary(opened),
-    }
+    """Deprecated: use ``campaign_open(directory).status()``."""
+    _deprecated("campaign_status(dir)", "api.campaign_open(dir).status()")
+    return Campaign.open(directory).status()
 
 
 def campaign_export(directory, *, fmt: str = "csv", runtime: Optional[Runtime] = None) -> str:
-    """Deterministic CSV/JSON export of a campaign (any backend)."""
-    from repro.campaign import executor as _executor
-    from repro.campaign.report import export as _export
-
-    opened = _executor.Campaign.open(directory)
-    runtime = runtime or get_runtime()
-    return _export(opened, runtime.store, fmt=fmt)
+    """Deprecated: use ``campaign_open(directory).export(fmt=...)``."""
+    _deprecated("campaign_export(dir, ...)", "api.campaign_open(dir).export(fmt=...)")
+    return Campaign.open(directory, runtime=runtime).export(fmt=fmt)
 
 
 def register_trace(name: str, path) -> None:
@@ -282,10 +478,12 @@ RESULT_SCHEMA_VERSION = _results.RESULT_SCHEMA_VERSION
 
 __all__ = [
     "RESULT_SCHEMA_VERSION",
+    "Campaign",
     "SimResult",
     "campaign",
     "campaign_create",
     "campaign_export",
+    "campaign_open",
     "campaign_status",
     "register_trace",
     "simulate",

@@ -14,7 +14,12 @@ reclaim)::
     python -m repro.campaign create --name paper --backend sqlite
     python -m repro.campaign worker <campaign-dir> &   # as many as you like,
     python -m repro.campaign worker <campaign-dir>     # on any machine
-    python -m repro.campaign serve --port 8642         # JSON submit/status API
+    python -m repro.campaign serve --port 8642         # JSON API + dashboard
+
+Pass ``--stream`` to ``worker`` (or to a serial ``run``/``resume``) to
+stream per-interval telemetry into the campaign store while jobs run;
+``serve`` then renders it live at ``/dashboard`` (DESIGN.md §14).
+Streaming never changes results, cache keys or exports.
 
 ``run`` prints the campaign directory it used; ``status``/``resume``/
 ``export`` take that directory.  A ``run`` over a directory that already
@@ -50,7 +55,7 @@ from repro.campaign.executor import (
     default_directory,
 )
 from repro.campaign.jobstore import BACKENDS, DEFAULT_LEASE, JobStoreError
-from repro.campaign.report import export, status_summary
+from repro.campaign.report import status_summary
 from repro.campaign.spec import CampaignSpec, SpecError
 
 
@@ -140,6 +145,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "(rate-limiting / lease-reclaim smoke hook)",
     )
     worker.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream per-interval telemetry samples into the job store "
+        "while jobs run (feeds the serve dashboard; results unchanged)",
+    )
+    worker.add_argument(
         "--retries",
         type=int,
         default=1,
@@ -218,6 +229,12 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="extra attempts per failing job before its failure is final",
     )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream per-interval telemetry samples into the campaign "
+        "store while jobs run (serial only; results unchanged)",
+    )
 
 
 def _runtime(args):
@@ -265,9 +282,9 @@ def _cmd_run(args) -> int:
                 file=sys.stderr,
             )
             return 2
-    run = CampaignRunner(campaign, runtime=runtime, retries=args.retries).run(
-        resume=True, limit=args.limit
-    )
+    run = CampaignRunner(
+        campaign, runtime=runtime, retries=args.retries, stream=args.stream
+    ).run(resume=True, limit=args.limit)
     return _finish_run(campaign, run)
 
 
@@ -276,28 +293,29 @@ def _cmd_create(args) -> int:
 
     spec = _load_spec(args)
     directory = Path(args.dir) if args.dir else None
-    campaign = api.campaign_create(spec, directory=directory, backend=args.backend)
+    handle = api.Campaign.create(spec, directory=directory, backend=args.backend)
     print(
-        f"campaign {campaign.spec.name!r}: {len(campaign.unique_jobs())} job(s) "
-        f"on the {campaign.backend} backend"
+        f"campaign {handle.name!r}: {len(handle.unique_jobs())} job(s) "
+        f"on the {handle.backend} backend"
     )
-    print(f"campaign directory: {campaign.directory}")
+    print(f"campaign directory: {handle.directory}")
     return 0
 
 
 def _cmd_status(args) -> int:
-    campaign = Campaign.open(args.directory)
-    print(status_summary(campaign))
-    counts = campaign.status_counts()
-    return 1 if counts.get("failed", 0) else 0
+    from repro import api
+
+    status = api.campaign_open(args.directory).status()
+    print(status["text"])
+    return 1 if status["counts"].get("failed", 0) else 0
 
 
 def _cmd_resume(args) -> int:
     runtime = _runtime(args)
     campaign = Campaign.open(args.directory)
-    run = CampaignRunner(campaign, runtime=runtime, retries=args.retries).run(
-        resume=True, limit=args.limit
-    )
+    run = CampaignRunner(
+        campaign, runtime=runtime, retries=args.retries, stream=args.stream
+    ).run(resume=True, limit=args.limit)
     return _finish_run(campaign, run)
 
 
@@ -325,6 +343,7 @@ def _cmd_worker(args) -> int:
             retries=args.retries,
             max_jobs=args.max_jobs,
             throttle=args.throttle,
+            stream=args.stream,
             should_stop=stop.is_set,
             log=(lambda message: None) if args.quiet else print,
         )
@@ -351,15 +370,11 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_export(args) -> int:
-    from repro import runtime
+    from repro import api, runtime
 
-    campaign = Campaign.open(args.directory)
-    store = (
-        runtime.Runtime(cache_dir=args.cache_dir).store
-        if args.cache_dir
-        else runtime.get_runtime().store
-    )
-    text = export(campaign, store, fmt=args.format)
+    explicit = runtime.Runtime(cache_dir=args.cache_dir) if args.cache_dir else None
+    handle = api.campaign_open(args.directory, runtime=explicit)
+    text = handle.export(fmt=args.format)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)

@@ -286,12 +286,23 @@ def _error_text(error: BaseException) -> str:
 
 
 class CampaignRunner:
-    """Drives a campaign to completion on top of the process-wide runtime."""
+    """Drives a campaign to completion on top of the process-wide runtime.
 
-    def __init__(self, campaign: Campaign, runtime=None, retries: int = 1):
+    ``stream=True`` streams per-interval telemetry samples into the
+    campaign's store while each job runs (the jsonl backend lands them
+    in the ``samples.jsonl`` sidecar, sqlite in its ``samples`` table).
+    Streaming is serial-only here — the collector cannot cross the
+    process-pool boundary; multi-process streaming is the job of
+    ``python -m repro.campaign worker --stream``.
+    """
+
+    def __init__(
+        self, campaign: Campaign, runtime=None, retries: int = 1, stream: bool = False
+    ):
         self.campaign = campaign
         self.runtime = runtime or get_runtime()
         self.retries = max(0, int(retries))
+        self.stream = bool(stream)
 
     # -- ledger plumbing ------------------------------------------------------
 
@@ -342,6 +353,13 @@ class CampaignRunner:
         if run_list:
             workers = min(self.runtime.jobs, len(run_list))
             if workers > 1:
+                if self.stream:
+                    raise CampaignError(
+                        "telemetry streaming needs a serial runner (--jobs 1) "
+                        "or the multi-worker path (python -m repro.campaign "
+                        "worker --stream): a live collector cannot cross the "
+                        "process-pool boundary"
+                    )
                 self._run_parallel(run_list, results, store, workers)
             else:
                 self._run_serial(run_list, results, store)
@@ -370,18 +388,33 @@ class CampaignRunner:
         )
 
     def _run_serial(self, run_list, results, store) -> None:
+        ledger = self.campaign.ledger
         for job in run_list:
             for attempt in range(1, self.retries + 2):
                 self._record(job, "running", attempt, worker=os.getpid())
                 started = time.perf_counter()
                 hit = store.get(job.key)
                 if hit is not None:
+                    if self.stream and hit.trace is not None:
+                        from repro.telemetry.stream import records_from_trace
+
+                        ledger.clear_samples(job.key)
+                        ledger.append_samples(
+                            job.key, records_from_trace(hit.trace)
+                        )
                     results[job.key] = self._finish(
                         job, attempt, hit, store, started, True, os.getpid()
                     )
                     break
                 try:
-                    _, result = _worker_execute(job.job)
+                    if self.stream:
+                        from repro.telemetry.stream import streamed_execute
+
+                        if attempt > 1:
+                            ledger.clear_samples(job.key)
+                        result = streamed_execute(job.job, ledger, job.key)
+                    else:
+                        _, result = _worker_execute(job.job)
                 except Exception as error:  # noqa: BLE001 - isolation is the point
                     self._fail(job, attempt, error, started, os.getpid())
                 else:

@@ -82,6 +82,21 @@ _SCHEMA = (
         meta TEXT
     )
     """,
+    # Streamed per-interval telemetry samples (DESIGN.md §14): one row
+    # per stream record, landing in batched transactions *while the job
+    # runs*.  ``id`` is the global landing order (the stream cursor);
+    # ``idx`` is the record's position within its job's stream.
+    """
+    CREATE TABLE IF NOT EXISTS samples (
+        id INTEGER PRIMARY KEY AUTOINCREMENT,
+        key TEXT NOT NULL,
+        idx INTEGER NOT NULL,
+        record TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS samples_by_key ON samples (key, idx)
+    """,
 )
 
 
@@ -333,6 +348,11 @@ class SqliteJobStore:
                     "worker = ?, lease_expires = ? WHERE key = ?",
                     (attempt, worker_id, expires, key),
                 )
+                # A re-claim (expired lease, failed retry) restarts the
+                # job's sample stream from scratch: drop whatever the
+                # previous attempt streamed, in the same transaction, so
+                # a reader never sees a dead worker's torn stream.
+                conn.execute("DELETE FROM samples WHERE key = ?", (key,))
                 meta = json.loads(meta_text) if meta_text else {}
                 record = {
                     "ts": now,
@@ -405,3 +425,93 @@ class SqliteJobStore:
             }
             for key, state, attempts, worker, lease_expires in rows
         ]
+
+    # -- streamed telemetry samples -------------------------------------------
+
+    def append_samples(self, key: str, records: Sequence[Dict]) -> None:
+        """Land one batch of stream records for ``key`` atomically.
+
+        Positions (``idx``) continue from the key's current tail.  One
+        transaction per batch means a SIGKILL mid-batch loses the whole
+        batch, never half of it — readers only ever see whole records in
+        stream order.
+        """
+        records = list(records)
+        if not records:
+            return
+        with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                (base,) = conn.execute(
+                    "SELECT COALESCE(MAX(idx) + 1, 0) FROM samples WHERE key = ?",
+                    (key,),
+                ).fetchone()
+                conn.executemany(
+                    "INSERT INTO samples (key, idx, record) VALUES (?, ?, ?)",
+                    [
+                        (key, base + offset, json.dumps(record, sort_keys=True))
+                        for offset, record in enumerate(records)
+                    ],
+                )
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+
+    def samples(self, key: str) -> List[Dict]:
+        """All of ``key``'s streamed records so far, in stream order."""
+        if not self.exists():
+            return []
+        with closing(self._connect()) as conn:
+            rows = conn.execute(
+                "SELECT record FROM samples WHERE key = ? ORDER BY idx", (key,)
+            ).fetchall()
+        return [json.loads(text) for (text,) in rows]
+
+    def samples_since(
+        self, cursor: int = 0, key: Optional[str] = None
+    ) -> Tuple[List[Dict], int]:
+        """Rows landed after ``cursor`` (a prior call's return), in order.
+
+        Returns ``(rows, new_cursor)``; each row is ``{id, key, idx,
+        record}``.  This is the incremental-poll surface the dashboard
+        and ``api.Campaign.stream()`` consume.
+        """
+        if not self.exists():
+            return [], cursor
+        query = "SELECT id, key, idx, record FROM samples WHERE id > ?"
+        params: List = [int(cursor)]
+        if key is not None:
+            query += " AND key = ?"
+            params.append(key)
+        query += " ORDER BY id"
+        with closing(self._connect()) as conn:
+            rows = conn.execute(query, params).fetchall()
+        out = [
+            {"id": row_id, "key": row_key, "idx": idx, "record": json.loads(text)}
+            for row_id, row_key, idx, text in rows
+        ]
+        if rows:
+            cursor = max(row[0] for row in rows)
+        return out, cursor
+
+    def sample_counts(self) -> Dict[str, int]:
+        """Streamed records per job key (keys with none are absent)."""
+        if not self.exists():
+            return {}
+        with closing(self._connect()) as conn:
+            rows = conn.execute(
+                "SELECT key, COUNT(*) FROM samples GROUP BY key"
+            ).fetchall()
+        return dict(rows)
+
+    def clear_samples(self, key: str) -> None:
+        """Drop ``key``'s stream (a fresh attempt restarts it)."""
+        with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                conn.execute("DELETE FROM samples WHERE key = ?", (key,))
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise

@@ -43,6 +43,10 @@ from typing import Dict, Iterable, List, Optional
 
 LEDGER_NAME = "ledger.jsonl"
 
+# Sidecar JSONL file holding streamed telemetry samples on the jsonl
+# backend (the sqlite backend keeps them in its ``samples`` table).
+SAMPLES_NAME = "samples.jsonl"
+
 # Every state a job can be in.  "pending" and "interrupted" are derived
 # (no record / last record is "running"); only the others are written.
 STATUSES = ("pending", "running", "interrupted", "done", "failed")
@@ -114,12 +118,160 @@ def _resolve_fsync(fsync: Optional[bool]) -> bool:
     }
 
 
+class SampleLog:
+    """JSONL sidecar for streamed telemetry samples (jsonl-backend fallback).
+
+    Mirrors the sqlite job store's samples surface —
+    ``append_samples`` / ``samples`` / ``samples_since`` /
+    ``sample_counts`` / ``clear_samples`` — over one append-only file:
+    each line is ``{"key", "idx", "record"}``, a whole batch written as
+    one ``O_APPEND`` write (same torn-line defense as the ledger).
+    Clearing a key appends a ``{"key", "reset": true}`` marker rather
+    than rewriting history; readers fold resets out.
+    """
+
+    def __init__(self, path, fsync: Optional[bool] = None):
+        self.path = Path(path)
+        self.fsync = _resolve_fsync(fsync)
+        self._next_idx: Dict[str, int] = {}
+
+    def _lines(self) -> List[Dict]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                raw = handle.readlines()
+        except FileNotFoundError:
+            return []
+        lines = []
+        for line in raw:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from a crash mid-append
+            if isinstance(entry, dict) and "key" in entry:
+                lines.append(entry)
+        return lines
+
+    def append_samples(self, key: str, records) -> None:
+        records = list(records)
+        if not records:
+            return
+        if key not in self._next_idx:
+            tail = -1
+            for entry in self._lines():
+                if entry["key"] != key:
+                    continue
+                tail = -1 if entry.get("reset") else entry.get("idx", tail)
+            self._next_idx[key] = tail + 1
+        base = self._next_idx[key]
+        payload = b"".join(
+            json.dumps(
+                {"key": key, "idx": base + offset, "record": record},
+                sort_keys=True,
+            ).encode("utf-8")
+            + b"\n"
+            for offset, record in enumerate(records)
+        )
+        self._next_idx[key] = base + len(records)
+        self._append_bytes(payload)
+
+    def clear_samples(self, key: str) -> None:
+        self._next_idx[key] = 0
+        self._append_bytes(
+            json.dumps({"key": key, "reset": True}, sort_keys=True).encode("utf-8")
+            + b"\n"
+        )
+
+    def _append_bytes(self, data: bytes) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            if os.fstat(descriptor).st_size > 0:
+                data = b"\n" + data
+            os.write(descriptor, data)
+            if self.fsync:
+                os.fsync(descriptor)
+        finally:
+            os.close(descriptor)
+
+    def _folded(self) -> List[Dict]:
+        """Live rows (resets applied), each ``{id, key, idx, record}``."""
+        rows: Dict[str, List[Dict]] = {}
+        for position, entry in enumerate(self._lines(), start=1):
+            if entry.get("reset"):
+                rows.pop(entry["key"], None)
+                continue
+            if "record" not in entry:
+                continue
+            rows.setdefault(entry["key"], []).append(
+                {
+                    "id": position,
+                    "key": entry["key"],
+                    "idx": entry.get("idx", 0),
+                    "record": entry["record"],
+                }
+            )
+        flat = [row for per_key in rows.values() for row in per_key]
+        flat.sort(key=lambda row: row["id"])
+        return flat
+
+    def samples(self, key: str) -> List[Dict]:
+        return [row["record"] for row in self._folded() if row["key"] == key]
+
+    def samples_since(self, cursor: int = 0, key: Optional[str] = None):
+        rows = [
+            row
+            for row in self._folded()
+            if row["id"] > cursor and (key is None or row["key"] == key)
+        ]
+        if rows:
+            cursor = max(row["id"] for row in rows)
+        return rows, cursor
+
+    def sample_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for row in self._folded():
+            counts[row["key"]] = counts.get(row["key"], 0) + 1
+        return counts
+
+
 class Ledger:
     """Append-only JSONL status journal; multi-writer safe appends."""
 
     def __init__(self, path, fsync: Optional[bool] = None):
         self.path = Path(path)
         self.fsync = _resolve_fsync(fsync)
+        # Streamed-sample sidecar (same directory); built lazily so a
+        # ledger that never streams never touches it.
+        self._sample_log: Optional[SampleLog] = None
+
+    @property
+    def sample_log(self) -> SampleLog:
+        if self._sample_log is None:
+            self._sample_log = SampleLog(
+                self.path.parent / SAMPLES_NAME, fsync=self.fsync
+            )
+        return self._sample_log
+
+    # Samples surface, mirroring SqliteJobStore so the streaming and
+    # dashboard layers drive either backend through one duck type.
+
+    def append_samples(self, key: str, records) -> None:
+        self.sample_log.append_samples(key, records)
+
+    def clear_samples(self, key: str) -> None:
+        self.sample_log.clear_samples(key)
+
+    def samples(self, key: str) -> List[Dict]:
+        return self.sample_log.samples(key)
+
+    def samples_since(self, cursor: int = 0, key: Optional[str] = None):
+        return self.sample_log.samples_since(cursor, key)
+
+    def sample_counts(self) -> Dict[str, int]:
+        return self.sample_log.sample_counts()
 
     def exists(self) -> bool:
         return self.path.is_file()
@@ -128,11 +280,12 @@ class Ledger:
         """Nothing to pre-create for JSONL; the first append makes the file."""
 
     def clear(self) -> None:
-        """Discard the journal (``run --fresh``)."""
-        try:
-            self.path.unlink()
-        except FileNotFoundError:
-            pass
+        """Discard the journal and the samples sidecar (``run --fresh``)."""
+        for path in (self.path, self.path.parent / SAMPLES_NAME):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
 
     def append(self, record: Dict) -> None:
         """Append one record as a single ``O_APPEND`` write syscall.

@@ -7,6 +7,8 @@ workers (``python -m repro.campaign worker``) do the actual simulating.
 
 Endpoints (all JSON unless noted):
 
+* ``GET  /`` and ``GET /dashboard`` — the live fleet dashboard
+  (dependency-free static HTML + inline JS polling the JSON below).
 * ``GET  /healthz`` — liveness probe.
 * ``GET  /campaigns`` — every campaign under the service root with its
   backend and status histogram.
@@ -19,11 +21,18 @@ Endpoints (all JSON unless noted):
 * ``GET  /campaigns/<id>/status`` — status counts + human summary.
 * ``GET  /campaigns/<id>/export?format=csv|json`` — the deterministic
   export (``text/csv`` or ``application/json``).
+* ``GET  /campaigns/<id>/metrics`` — the full dashboard payload
+  (progress + live series + FDP histogram + queue pressure), computed
+  from the streamed ``samples`` table (DESIGN.md §14).
+* ``GET  /campaigns/<id>/progress|series|fdp|pressure`` — the same
+  aggregates individually.
+* ``GET  /campaigns/<id>/samples?after=N`` — raw streamed sample rows
+  past cursor ``N`` plus the next cursor, for incremental tailing.
 
 Campaign ids are directory basenames under the service root
 (``--root``, default the shared campaigns root); requests cannot escape
-it.  All campaign logic is routed through :mod:`repro.api`
-(``campaign_create`` / ``campaign_status`` / ``campaign_export``), so
+it.  All campaign logic is routed through the :class:`repro.api
+.Campaign` handle (``api.Campaign.create`` / ``api.campaign_open``), so
 the HTTP surface stays a thin shim over the same public API library
 users call.
 """
@@ -74,6 +83,20 @@ class CampaignService:
     def health(self) -> Dict:
         return {"ok": True, "root": str(self.root)}
 
+    def _open(self, campaign_id: str):
+        from repro import api
+
+        directory = self.root / _campaign_id(campaign_id)
+        try:
+            return api.campaign_open(directory, runtime=self.runtime)
+        except CampaignError as error:
+            raise ServiceError(404, str(error)) from error
+
+    def dashboard(self) -> str:
+        from repro.dashboard import render_page
+
+        return render_page()
+
     def list_campaigns(self) -> Dict:
         from repro import api
 
@@ -83,7 +106,7 @@ class CampaignService:
                 if not (entry / SPEC_FILE).is_file():
                     continue
                 try:
-                    campaigns.append(api.campaign_status(entry))
+                    campaigns.append(api.campaign_open(entry).status())
                 except CampaignError:
                     continue  # unreadable snapshot: not served, not fatal
         return {"campaigns": campaigns}
@@ -99,7 +122,7 @@ class CampaignService:
         if isinstance(payload.get("directory"), str):
             directory = self.root / _campaign_id(payload["directory"])
         try:
-            campaign = api.campaign_create(
+            campaign = api.Campaign.create(
                 spec, directory=directory, backend=backend, root=self.root
             )
         except (SpecError, JobStoreError, KeyError) as error:
@@ -109,33 +132,53 @@ class CampaignService:
         return {
             "id": campaign.directory.name,
             "directory": str(campaign.directory),
-            "name": campaign.spec.name,
+            "name": campaign.name,
             "fingerprint": campaign.spec.fingerprint(),
             "backend": campaign.backend,
             "jobs": len(campaign.unique_jobs()),
         }
 
     def status(self, campaign_id: str) -> Dict:
-        from repro import api
-
-        directory = self.root / _campaign_id(campaign_id)
-        try:
-            return api.campaign_status(directory)
-        except CampaignError as error:
-            raise ServiceError(404, str(error)) from error
+        return self._open(campaign_id).status()
 
     def export(self, campaign_id: str, fmt: str) -> Tuple[str, str]:
-        from repro import api
-
         if fmt not in ("csv", "json"):
             raise ServiceError(400, f"unknown export format {fmt!r}; use csv or json")
-        directory = self.root / _campaign_id(campaign_id)
-        try:
-            text = api.campaign_export(directory, fmt=fmt, runtime=self.runtime)
-        except CampaignError as error:
-            raise ServiceError(404, str(error)) from error
+        text = self._open(campaign_id).export(fmt=fmt)
         content_type = "text/csv" if fmt == "csv" else "application/json"
         return text, content_type
+
+    # -- live telemetry aggregates (DESIGN.md §14) ----------------------------
+
+    def metrics(self, campaign_id: str) -> Dict:
+        return self._open(campaign_id).metrics()
+
+    def progress(self, campaign_id: str) -> Dict:
+        return self._open(campaign_id).progress()
+
+    def series(self, campaign_id: str) -> Dict:
+        from repro.dashboard.aggregate import series
+
+        return series(self._open(campaign_id).inner)
+
+    def fdp(self, campaign_id: str) -> Dict:
+        from repro.dashboard.aggregate import fdp_histogram
+
+        return fdp_histogram(self._open(campaign_id).inner)
+
+    def pressure(self, campaign_id: str) -> Dict:
+        from repro.dashboard.aggregate import queue_pressure
+
+        return queue_pressure(self._open(campaign_id).inner)
+
+    def samples(self, campaign_id: str, after: int) -> Dict:
+        store = self._open(campaign_id).inner.ledger
+        if not hasattr(store, "samples_since"):
+            raise ServiceError(
+                404, f"campaign {campaign_id!r} has no sample stream"
+            )
+        rows, cursor = store.samples_since(after)
+        return {"rows": rows, "cursor": cursor}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -177,6 +220,8 @@ class _Handler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         parts = [part for part in parsed.path.split("/") if part]
         try:
+            if method == "GET" and parts in ([], ["dashboard"]):
+                return self._send(200, self.service.dashboard(), "text/html")
             if method == "GET" and parts == ["healthz"]:
                 return self._send_json(200, self.service.health())
             if method == "GET" and parts == ["campaigns"]:
@@ -191,6 +236,26 @@ class _Handler(BaseHTTPRequestHandler):
                     fmt = (query.get("format") or ["csv"])[0]
                     text, content_type = self.service.export(parts[1], fmt)
                     return self._send(200, text, content_type)
+                if parts[2] == "metrics":
+                    return self._send_json(200, self.service.metrics(parts[1]))
+                if parts[2] == "progress":
+                    return self._send_json(200, self.service.progress(parts[1]))
+                if parts[2] == "series":
+                    return self._send_json(200, self.service.series(parts[1]))
+                if parts[2] == "fdp":
+                    return self._send_json(200, self.service.fdp(parts[1]))
+                if parts[2] == "pressure":
+                    return self._send_json(200, self.service.pressure(parts[1]))
+                if parts[2] == "samples":
+                    query = parse_qs(parsed.query)
+                    raw = (query.get("after") or ["0"])[0]
+                    try:
+                        after = int(raw)
+                    except ValueError:
+                        raise ServiceError(
+                            400, f"'after' must be an integer cursor, got {raw!r}"
+                        ) from None
+                    return self._send_json(200, self.service.samples(parts[1], after))
             raise ServiceError(404, f"no such endpoint: {method} {parsed.path}")
         except ServiceError as error:
             self._send_json(error.status, {"error": str(error)})
@@ -226,7 +291,8 @@ def serve(
     bound_host, bound_port = server.server_address[:2]
     announce(
         f"campaign service on http://{bound_host}:{bound_port} "
-        f"(root: {CampaignService(root=root).root})"
+        f"(root: {CampaignService(root=root).root}); "
+        f"live dashboard at http://{bound_host}:{bound_port}/dashboard"
     )
     try:
         server.serve_forever()

@@ -123,6 +123,7 @@ def run_worker(
     retries: int = 1,
     max_jobs: Optional[int] = None,
     throttle: float = 0.0,
+    stream: bool = False,
     should_stop: Optional[Callable[[], bool]] = None,
     log: Optional[Callable[[str], None]] = None,
 ) -> WorkerStats:
@@ -135,6 +136,14 @@ def run_worker(
     after that many claims (testing hook); ``throttle`` sleeps that many
     seconds after each claim before executing (rate-limiting / smoke
     hook); ``should_stop`` is polled between jobs for a graceful drain.
+
+    ``stream=True`` turns on live telemetry streaming (DESIGN.md §14):
+    each job runs under a :class:`~repro.telemetry.collector
+    .TelemetryCollector` whose per-interval samples land in the job
+    store's ``samples`` table in batched transactions *while the job is
+    running*; cache-hit jobs with a stored trace synthesize their stream
+    at claim time.  Streaming never perturbs results, cache keys or
+    exports — it is read-only over the run.
     """
     runtime = runtime or get_runtime()
     store = campaign.ledger
@@ -174,7 +183,7 @@ def run_worker(
         stats.claimed += 1
         _execute_claim(
             campaign, store, result_store, by_key, claim, worker_id, lease,
-            throttle, stats, log,
+            throttle, stream, stats, log,
         )
     log(f"[{worker_id}] exiting: {stats.describe()}")
     return stats
@@ -189,6 +198,7 @@ def _execute_claim(
     worker_id: str,
     lease: float,
     throttle: float,
+    stream: bool,
     stats: WorkerStats,
     log: Callable[[str], None],
 ) -> None:
@@ -220,6 +230,16 @@ def _execute_claim(
             hit = result_store.get(claim.key)
             if hit is not None:
                 result, cached = hit, True
+                if stream and hit.trace is not None:
+                    # The run is not repeated, but the live view still
+                    # gets the rows a cold run would have streamed.
+                    from repro.telemetry.stream import records_from_trace
+
+                    store.append_samples(claim.key, records_from_trace(hit.trace))
+            elif stream:
+                from repro.telemetry.stream import streamed_execute
+
+                result, cached = streamed_execute(job.job, store, claim.key), False
             else:
                 result, cached = execute_job(job.job), False
             result_store.put(claim.key, result)

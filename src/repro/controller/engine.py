@@ -36,7 +36,8 @@ Both produce byte-identical simulation results — priorities are totally
 ordered (the admission sequence number breaks every tie), so winner
 selection does not depend on queue order or on how keys are represented.
 Select the reference path with ``DRAMControllerEngine(...,
-reference=True)`` or system-wide with ``$REPRO_SCHED=reference``.
+reference=True)`` or system-wide with ``$REPRO_BACKEND=reference``
+(``$REPRO_SCHED`` is the deprecated spelling).
 """
 
 from __future__ import annotations

@@ -180,6 +180,38 @@ def resolve_backend(name: Optional[str]) -> str:
     return name
 
 
+def backend_from_env() -> Optional[str]:
+    """The backend named by the environment, or ``None`` if unset.
+
+    ``$REPRO_BACKEND`` is the supported knob.  ``$REPRO_SCHED`` is its
+    pre-PR-6 spelling: still honored, but it emits a
+    :class:`DeprecationWarning` naming the replacement.  When both are
+    set they must agree — conflicting values raise :class:`BackendError`
+    instead of one knob silently winning (an ignored override is the
+    worst kind of configuration bug).  The returned name is *not*
+    validated here; callers feed it through :func:`resolve_backend` like
+    any other spelling.
+    """
+    import os
+    import warnings
+
+    current = os.environ.get("REPRO_BACKEND")
+    legacy = os.environ.get("REPRO_SCHED")
+    if legacy:
+        warnings.warn(
+            "$REPRO_SCHED is deprecated; set $REPRO_BACKEND instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    if current and legacy and current != legacy:
+        raise BackendError(
+            f"conflicting backend environment: $REPRO_BACKEND={current!r} "
+            f"but legacy $REPRO_SCHED={legacy!r}; unset $REPRO_SCHED "
+            "(deprecated) or make the two agree"
+        )
+    return current or legacy or None
+
+
 class PolicyError(ValueError):
     """An unknown scheduling-policy name; the message suggests fixes."""
 

@@ -118,28 +118,42 @@ def job_summary(job: SimJob) -> str:
     )
 
 
-def execute_job(job: SimJob) -> SimResult:
+def execute_job(job: SimJob, *, telemetry=None) -> SimResult:
     """Run one job in this process (also the worker-side entry point).
 
     Any simulation failure is re-raised as :class:`JobExecutionError`
     carrying the job's cache key and config summary, so callers (and
     users reading a worker traceback) know which job died.
+
+    ``telemetry`` (keyword-only) overrides the job's own telemetry knob
+    with a live collector — the streaming path.  The override is
+    **cache-neutral**: it never reaches the job's key (the job is
+    untouched), and if the job did not itself ask for telemetry the
+    collector's piggy-backed trace is stripped from the result, so the
+    persisted bytes are identical to an unstreamed run.
     """
     # Late attribute lookup so tests can monkeypatch repro.sim.simulate.
     import repro.sim
 
+    sim_kwargs = dict(job.sim_kwargs)
+    job_wants_trace = bool(sim_kwargs.get("telemetry"))
+    if telemetry is not None:
+        sim_kwargs["telemetry"] = telemetry
     try:
-        return repro.sim.simulate(
+        result = repro.sim.simulate(
             job.config,
             list(job.benchmarks),
             max_accesses_per_core=job.accesses,
             seed=job.seed,
-            **dict(job.sim_kwargs),
+            **sim_kwargs,
         )
     except Exception as error:
         raise JobExecutionError(
             job.key(), job_summary(job), traceback.format_exc()
         ) from error
+    if telemetry is not None and not job_wants_trace:
+        result.trace = None
+    return result
 
 
 def _resolve_jobs(jobs: Optional[int]) -> int:

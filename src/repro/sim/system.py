@@ -20,7 +20,6 @@ beyond ``_DEMAND_MSHR_RESERVE`` entries.
 from __future__ import annotations
 
 import heapq
-import os
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Union
 
@@ -34,7 +33,7 @@ from repro.controller.request import MemRequest
 from repro.core.core import CoreState
 from repro.dram.refresh import RefreshScheduler
 from repro.core.trace import TraceEntry
-from repro.params import SystemConfig, resolve_backend
+from repro.params import SystemConfig, backend_from_env, resolve_backend
 from repro.prefetch.base import make_prefetcher
 from repro.prefetch.ddpf import DDPFFilter
 from repro.prefetch.fdp import FDPController
@@ -110,16 +109,10 @@ class System:
         # golden-equivalence tests, the differential fuzzer and the bench
         # CLI's verify mode pin this (DESIGN.md §10–11).  Resolution
         # order: explicit ``backend=`` arg > legacy ``scheduler=`` arg >
-        # ``config.backend`` > ``$REPRO_BACKEND`` > legacy
-        # ``$REPRO_SCHED`` > the package default.
+        # ``config.backend`` > the environment (``$REPRO_BACKEND``, with
+        # ``$REPRO_SCHED`` as a deprecated alias) > the package default.
         if backend is None:
-            backend = (
-                scheduler
-                or config.backend
-                or os.environ.get("REPRO_BACKEND")
-                or os.environ.get("REPRO_SCHED")
-                or None
-            )
+            backend = scheduler or config.backend or backend_from_env()
         backend = resolve_backend(backend)
         self.backend = backend
         # Backwards-compatible alias: pre-PR-6 callers read ``scheduler``.

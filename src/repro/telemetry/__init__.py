@@ -9,15 +9,27 @@ The subsystem has three layers:
   work) and the real :class:`TelemetryCollector` hooked at the
   simulator's accuracy-interval boundaries;
 * :mod:`repro.telemetry.report` — plain-text interval tables and the
-  phase summary, also exposed as ``python -m repro.telemetry``.
+  phase summary, also exposed as ``python -m repro.telemetry``;
+* :mod:`repro.telemetry.stream` — the live half (DESIGN.md §14): the
+  collector's ``on_sample`` hook re-cuts the trace into per-interval
+  sample records as they happen, :func:`fold_samples` folds a stream
+  back into the byte-identical ``SimTrace``.
 
 Enable tracing with ``repro.api.simulate(..., telemetry=True)``; the
 trace rides on ``SimResult.trace`` through ``to_dict``, the result
-store and campaign exports.
+store and campaign exports.  Streaming is the campaign layer's job
+(``worker --stream``), never on by default.
 """
 
 from repro.telemetry.collector import NoopCollector, TelemetryCollector, as_collector
 from repro.telemetry.report import phase_summary, render_report
+from repro.telemetry.stream import (
+    STREAM_SCHEMA_VERSION,
+    SampleBatcher,
+    StreamError,
+    fold_samples,
+    records_from_trace,
+)
 from repro.telemetry.trace import (
     CORE_SERIES,
     SYSTEM_SERIES,
@@ -28,13 +40,18 @@ from repro.telemetry.trace import (
 
 __all__ = [
     "CORE_SERIES",
+    "STREAM_SCHEMA_VERSION",
     "SYSTEM_SERIES",
     "TRACE_SCHEMA_VERSION",
     "NoopCollector",
+    "SampleBatcher",
     "SimTrace",
+    "StreamError",
     "TelemetryCollector",
     "TraceSchemaError",
     "as_collector",
+    "fold_samples",
     "phase_summary",
+    "records_from_trace",
     "render_report",
 ]

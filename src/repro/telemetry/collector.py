@@ -21,11 +21,20 @@ one of the O(1) always-on counters added for telemetry (bank/bus busy
 cycles, occupancy high-water marks, FDP level moves); the collector
 differences them per interval, so per-event work stays out of the hot
 path even when tracing.
+
+Streaming (DESIGN.md §14): ``TelemetryCollector(on_sample=...)`` emits
+one :mod:`~repro.telemetry.stream` record per completed sample — the
+header at ``on_start``, then one interval record right after each
+sample's PAR-derived half lands — so a sink (the campaign job store)
+sees samples *while the run is in flight*.  The hook is strictly
+read-only over the trace: with or without it, the collector appends the
+exact same values, which is what makes streamed-then-folded traces
+byte-identical to post-hoc ones.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.telemetry.trace import CORE_SERIES, SYSTEM_SERIES, SimTrace
 
@@ -60,13 +69,19 @@ _NOOP = NoopCollector()
 
 
 class TelemetryCollector(NoopCollector):
-    """Interval-sampled telemetry of one simulation run."""
+    """Interval-sampled telemetry of one simulation run.
+
+    ``on_sample`` (optional) is called with one stream record per
+    completed sample — see :mod:`repro.telemetry.stream` for the record
+    shapes and the fold that reconstitutes the trace.
+    """
 
     enabled = True
 
-    def __init__(self):
+    def __init__(self, on_sample: Optional[Callable[[Dict], None]] = None):
         self._started = False
         self._trace: Optional[SimTrace] = None
+        self._on_sample = on_sample
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -102,6 +117,10 @@ class TelemetryCollector(NoopCollector):
         self._prev_bus_busy = 0
         self._prev_bank_busy = 0
         self._reset_peaks(system)
+        if self._on_sample is not None:
+            from repro.telemetry.stream import header_record
+
+            self._on_sample(header_record(self._trace))
 
     def on_tick(self, system, channel_id: int, now: int) -> None:
         self._buffer_sum += system.engine.occupancy(channel_id)
@@ -248,6 +267,11 @@ class TelemetryCollector(NoopCollector):
                 fdp.level if fdp is not None else -1
             )
         trace.intervals.append(now)
+        # The sample is complete (both halves appended): stream it.
+        if self._on_sample is not None:
+            from repro.telemetry.stream import interval_record
+
+            self._on_sample(interval_record(trace, trace.num_intervals - 1))
 
 
 CollectorLike = Union[None, bool, NoopCollector]

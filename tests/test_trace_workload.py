@@ -309,6 +309,6 @@ def test_trace_smoke_campaign_matches_golden(monkeypatch, tmp_path):
     )
     run = api.campaign(spec, directory=tmp_path / "campaign")
     assert run.campaign.status_counts().get("done") == 4
-    exported = api.campaign_export(tmp_path / "campaign")
+    exported = api.campaign_open(tmp_path / "campaign").export()
     golden = (Path(__file__).parent / "golden" / "trace_smoke.csv").read_text()
     assert exported == golden
