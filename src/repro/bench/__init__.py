@@ -28,11 +28,20 @@ per-pair CPU-time ratios — the pairing cancels slow machine drift that
 makes two independent best-of-N aggregates incomparable).  The resulting
 certificate is embedded in the report under ``"certificate"``.
 
-The report is a schema-versioned JSON document (``BENCH_6.json``).  The
+The report is a schema-versioned JSON document (``BENCH_10.json``).  The
 regression check compares the optimized/reference *speedup ratios* — a
 machine-independent quantity — against the committed baseline, flagging
 any policy whose tick-loop speedup fell by more than the threshold
 (default 25%).
+
+Schema 3 (this generation) adds the **phase-attribution section**
+(``--phases``; see :mod:`repro.bench.phases`): a cProfile pass over the
+macrobench whose self-time is bucketed into workload / core_cache /
+prefetcher / controller / telemetry / other, plus a scale-matched
+end-to-end ``wall_s`` comparison against the previous-generation
+``BENCH_6.json`` report (which stays schema 2 and is read with the
+version check deliberately relaxed — absolute walls, not ratios, are
+what the front-end optimization is accountable for).
 """
 
 from __future__ import annotations
@@ -47,9 +56,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.params import BACKENDS, SystemConfig, baseline_config
 from repro.sim.system import System
 
-SCHEMA_VERSION = 2
-BENCH_NAME = "BENCH_6"
-DEFAULT_REPORT = "BENCH_6.json"
+SCHEMA_VERSION = 3
+BENCH_NAME = "BENCH_10"
+DEFAULT_REPORT = "BENCH_10.json"
+# Previous-generation report: the wall_s comparison baseline (schema 2).
+PREVIOUS_REPORT = "BENCH_6.json"
 
 # The campaign-preset macrobench: the padc 4-core multiprogrammed mix.
 MACRO_MIX: Tuple[str, ...] = ("mcf_06", "libquantum_06", "lucas_00", "hmmer_06")
@@ -507,9 +518,18 @@ def build_report(
     certify: bool = True,
     certify_policy: str = CERTIFY_POLICY,
     certify_pairs: int = CERTIFY_PAIRS,
+    phases: bool = False,
+    phase_backend: str = "event",
     progress=None,
 ) -> Dict[str, object]:
-    """Run the full bench matrix and assemble the report document."""
+    """Run the full bench matrix and assemble the report document.
+
+    With ``phases`` the report gains a ``"phases"`` section: one
+    phase-attributed cProfile breakdown per policy on ``phase_backend``
+    (see :mod:`repro.bench.phases`).  The profiled runs are separate
+    from the timed macrobench runs, so the attribution never perturbs
+    the reported walls.
+    """
 
     def note(message: str) -> None:
         if progress is not None:
@@ -540,6 +560,14 @@ def build_report(
             report["micro"]["policies"][policy] = bench_micro_policy(
                 policy, scale, repeats
             )
+    if phases:
+        from repro.bench.phases import run_phases
+
+        phase_entries = {}
+        for policy in policies:
+            note(f"phase attribution {policy} ({phase_backend}) ...")
+            phase_entries[policy] = run_phases(policy, scale, phase_backend)
+        report["phases"] = {"backend": phase_backend, "policies": phase_entries}
     if run_trace_bench:
         note("trace encode/decode throughput ...")
         report["trace"] = bench_trace(scale)

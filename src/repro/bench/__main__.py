@@ -3,14 +3,24 @@
 Runs the tick-loop microbench and the campaign-preset macrobench over the
 policy matrix and all three backends (event / optimized / reference),
 verifies their byte-identity first, measures the event-vs-optimized
-speedup certificate, writes the schema-versioned ``BENCH_6.json`` report,
-and (when a committed baseline exists) fails on a >25% tick-loop-speedup
-regression.
+speedup certificate, writes the schema-versioned ``BENCH_10.json``
+report, and (when a committed baseline exists) fails on a >25%
+tick-loop-speedup regression.
+
+``--phases`` adds the phase-attributed profile (DESIGN.md §15): one
+cProfile pass per policy whose self-time is bucketed into workload /
+core_cache / prefetcher / controller / telemetry / other, printed as a
+table and recorded in the report.  When the previous-generation
+``BENCH_6.json`` exists at the same scale, the end-to-end ``wall_s`` of
+every policy/backend cell is compared against it (speedups printed and
+recorded; a >50% wall regression fails the run — looser than the
+tick-loop gate because absolute walls drift 10-20% between the machine
+states that recorded the two reports).
 
 Examples::
 
-    python -m repro.bench --scale tiny            # CI smoke
-    python -m repro.bench --scale medium          # regenerate the baseline
+    python -m repro.bench --phases --scale tiny   # CI smoke
+    python -m repro.bench --phases --scale medium # regenerate the baseline
     python -m repro.bench --policies padc --profile
 """
 
@@ -25,6 +35,7 @@ from repro.bench import (
     CERTIFY_POLICY,
     DEFAULT_POLICIES,
     DEFAULT_REPORT,
+    PREVIOUS_REPORT,
     SCALES,
     baseline_speedups,
     bench_macro_policy,
@@ -33,6 +44,13 @@ from repro.bench import (
     load_report,
     run_macro,
     write_report,
+)
+from repro.bench.phases import (
+    WALL_THRESHOLD,
+    best_wall_speedup,
+    check_wall_regression,
+    compare_walls,
+    phase_table,
 )
 
 
@@ -140,6 +158,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="do not compare against the baseline report",
     )
     parser.add_argument(
+        "--phases",
+        action="store_true",
+        help="add the phase-attributed cProfile breakdown (workload / "
+        "core_cache / prefetcher / controller / telemetry / other) per "
+        "policy to the report and print it as a table",
+    )
+    parser.add_argument(
+        "--phase-backend",
+        default="event",
+        choices=("event", "optimized", "reference"),
+        help="backend the phase attribution profiles (default: event)",
+    )
+    parser.add_argument(
+        "--wall-baseline",
+        default=PREVIOUS_REPORT,
+        help="previous-generation report for the scale-matched end-to-end "
+        f"wall_s comparison (default: {PREVIOUS_REPORT}; schema version "
+        "deliberately not required to match)",
+    )
+    parser.add_argument(
+        "--wall-threshold",
+        type=float,
+        default=WALL_THRESHOLD,
+        help="regression threshold on the end-to-end wall_s comparison "
+        f"(default: {WALL_THRESHOLD}; looser than --threshold because "
+        "absolute walls drift between the machine states that recorded "
+        "the two reports)",
+    )
+    parser.add_argument(
         "--also-scales",
         default="",
         help="comma-separated extra scales whose tick-loop speedups are "
@@ -172,6 +219,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         certify=not args.skip_certify,
         certify_policy=args.certify_policy,
         certify_pairs=args.certify_pairs,
+        phases=args.phases,
+        phase_backend=args.phase_backend,
         progress=lambda message: print(f"[bench] {message}", flush=True),
     )
 
@@ -221,6 +270,50 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"({certificate['policy']}, {certificate['pairs']} pairs, "
             f"median of paired CPU-time ratios)"
         )
+
+    phases_section = report.get("phases")
+    if phases_section is not None:
+        print(
+            f"[bench] phases ({phases_section['backend']} backend, "
+            "self-time shares):"
+        )
+        for line in phase_table(phases_section["policies"].values()):
+            print(f"[bench]   {line}")
+
+    if not args.no_regression_check:
+        wall_baseline = load_report(args.wall_baseline)
+        if wall_baseline is not None:
+            comparison = compare_walls(report, wall_baseline)
+            if comparison:
+                report["wall_baseline"] = {
+                    "path": args.wall_baseline,
+                    "bench": wall_baseline.get("bench"),
+                    "scale": wall_baseline.get("scale"),
+                    "comparison": comparison,
+                }
+                best = best_wall_speedup(comparison)
+                print(
+                    f"[bench] wall vs {args.wall_baseline}: best "
+                    f"{best['speedup']:.2f}x ({best['policy']}/"
+                    f"{best['backend']}, {best['baseline_wall_s']:.3f}s -> "
+                    f"{best['wall_s']:.3f}s)"
+                )
+                wall_failures = check_wall_regression(
+                    report, wall_baseline, args.wall_threshold
+                )
+                if wall_failures:
+                    print(
+                        f"[bench] WALL REGRESSION vs {args.wall_baseline}:",
+                        file=sys.stderr,
+                    )
+                    for failure in wall_failures:
+                        print(f"[bench]   {failure}", file=sys.stderr)
+                    exit_code = 1
+            else:
+                print(
+                    f"[bench] {args.wall_baseline} has no wall_s data at "
+                    f"scale {args.scale!r}; wall comparison skipped"
+                )
 
     if baseline is not None:
         failures = check_regression(report, baseline, args.threshold)

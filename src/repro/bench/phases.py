@@ -1,0 +1,278 @@
+"""Phase-attributed profiling for the macrobench (DESIGN.md §15).
+
+The tick-loop timer answers "how much of the run is the scheduling
+round?", but the front-end optimization work needs the complement broken
+down further: of the time spent *outside* the controller, how much goes
+to workload generation, to the core+cache model, to the prefetchers, to
+telemetry?  :func:`run_phases` answers that with one deterministic
+cProfile pass over the campaign-preset macrobench:
+
+* every profiled function's **self time** (cProfile ``tottime``) is
+  attributed to exactly one bucket by its defining module's path, so the
+  buckets partition the profiled time — they sum to ``profiled_s``
+  exactly, with no double counting;
+* the bucket names are a stable, versioned contract
+  (:data:`PHASE_BUCKETS`) — the report schema, the CLI table and the
+  regression tests all key on them;
+* wall time is measured with ``perf_counter_ns`` around the profiled
+  run.  cProfile's per-call hook inflates wall time substantially (the
+  simulator makes tens of millions of calls), so ``wall_s`` here is NOT
+  comparable to the untimed macrobench wall — use the **shares**, which
+  divide out the overhead, and the plain macrobench ``wall_s`` for
+  absolute speed.
+
+Bucket map (module path → bucket):
+
+=============  ========================================================
+bucket         modules
+=============  ========================================================
+``workload``   ``repro.workloads``, ``repro.trace``, numpy RNG builtins
+``core_cache`` ``repro.sim``, ``repro.cache``, ``repro.core``
+``prefetcher`` ``repro.prefetch``
+``controller`` ``repro.controller``, ``repro.dram``
+``telemetry``  ``repro.telemetry``, ``repro.metrics``
+``other``      everything else (heapq, builtins, interpreter plumbing)
+=============  ========================================================
+
+``front_end_share`` is ``workload + core_cache + prefetcher`` over the
+profiled total — the fraction of simulator self-time spent outside the
+DRAM controller, i.e. the territory the front-end hot-path work targets.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from time import perf_counter_ns
+from typing import Dict, Iterable, List, Optional
+
+# The stable bucket contract.  Order is presentation order; tests pin
+# the exact tuple, so adding/renaming a bucket is a schema change.
+PHASE_BUCKETS = (
+    "workload",
+    "core_cache",
+    "prefetcher",
+    "controller",
+    "telemetry",
+    "other",
+)
+
+# Buckets counted as "front end" (everything except the DRAM controller
+# back end; telemetry and interpreter overhead are reported separately).
+FRONT_END_BUCKETS = ("workload", "core_cache", "prefetcher")
+
+# (path markers, bucket) — first match wins.  Markers are substring
+# matches on the '/'-normalized co_filename, so they work for installed
+# packages and source checkouts alike.
+_BUCKET_RULES = (
+    (("/repro/workloads/", "/repro/trace/"), "workload"),
+    (("/repro/sim/", "/repro/cache/", "/repro/core/"), "core_cache"),
+    (("/repro/prefetch/",), "prefetcher"),
+    (("/repro/controller/", "/repro/dram/"), "controller"),
+    (("/repro/telemetry/", "/repro/metrics/"), "telemetry"),
+)
+
+
+def classify(filename: str, funcname: str = "") -> str:
+    """Map one profiled function to its phase bucket.
+
+    ``filename``/``funcname`` are the pstats key fields (``co_filename``
+    and ``co_name``; C functions report ``'~'`` and a descriptive
+    funcname).  The numpy Generator's batched draw methods are C-level
+    builtins, but they do the workload's random number generation, so
+    they are attributed to ``workload`` rather than ``other``.
+    """
+    path = filename.replace("\\", "/")
+    for markers, bucket in _BUCKET_RULES:
+        for marker in markers:
+            if marker in path:
+                return bucket
+    if "numpy" in path or "numpy" in funcname:
+        return "workload"
+    return "other"
+
+
+def run_phases(
+    policy: str,
+    scale: str,
+    backend: str = "event",
+    *,
+    seed: Optional[int] = None,
+) -> Dict[str, object]:
+    """Profile one macrobench run; return the phase-attributed breakdown.
+
+    The simulated run is identical to :func:`repro.bench.run_macro`
+    (same config, mix, seed and access count), so the attribution
+    describes exactly the workload the bench report measures.
+    """
+    from repro.bench import MACRO_SEED, SCALES, _macro_config, MACRO_MIX
+    from repro.sim.system import System
+
+    if seed is None:
+        seed = MACRO_SEED
+    sizing = SCALES[scale]
+    system = System(
+        _macro_config(policy), list(MACRO_MIX), seed=seed, backend=backend
+    )
+    profiler = cProfile.Profile()
+    start = perf_counter_ns()
+    profiler.enable()
+    result = system.run(sizing.macro_accesses)
+    profiler.disable()
+    wall_s = (perf_counter_ns() - start) / 1e9
+    stats = pstats.Stats(profiler)
+    buckets = {name: 0.0 for name in PHASE_BUCKETS}
+    for (filename, _lineno, funcname), row in stats.stats.items():  # type: ignore[attr-defined]
+        buckets[classify(filename, funcname)] += row[2]  # tt: self time
+    profiled_s = sum(buckets.values())
+    shares = {
+        name: round(seconds / profiled_s, 4) if profiled_s else 0.0
+        for name, seconds in buckets.items()
+    }
+    front_end = sum(buckets[name] for name in FRONT_END_BUCKETS)
+    return {
+        "policy": policy,
+        "scale": scale,
+        "backend": backend,
+        "seed": seed,
+        "accesses_per_core": sizing.macro_accesses,
+        "cycles": result.total_cycles,
+        "wall_s": round(wall_s, 6),
+        "profiled_s": round(profiled_s, 6),
+        "buckets": {name: round(buckets[name], 6) for name in PHASE_BUCKETS},
+        "shares": shares,
+        "front_end_share": (
+            round(front_end / profiled_s, 4) if profiled_s else 0.0
+        ),
+    }
+
+
+def phase_table(entries: Iterable[Dict[str, object]]) -> List[str]:
+    """Render phase breakdowns as aligned CLI/CI lines (one per entry)."""
+    lines = []
+    for entry in entries:
+        shares: Dict[str, float] = entry["shares"]  # type: ignore[assignment]
+        cells = " | ".join(
+            f"{name} {shares.get(name, 0.0):6.1%}" for name in PHASE_BUCKETS
+        )
+        lines.append(
+            f"{entry['policy']:>18s}/{entry['backend']:<9s} {cells} "
+            f"| front-end {entry['front_end_share']:6.1%}"
+        )
+    return lines
+
+
+# -- wall-clock comparison against a previous-generation baseline ----------
+#
+# The tick-loop speedup check (repro.bench.check_regression) compares a
+# machine-independent ratio and requires matching schema versions.  The
+# wall check below is the end-to-end complement for the front-end work:
+# it compares absolute ``wall_s`` per policy and backend against an
+# *older-generation* report (e.g. BENCH_6.json, schema 2) at the same
+# scale.  Wall time is machine-dependent, so the comparison only runs
+# when the baseline has same-scale macro data, and the threshold is
+# generous — it exists to catch a hot path that got materially slower,
+# not to police noise.
+
+
+def baseline_walls(
+    baseline: Dict[str, object], scale: str
+) -> "Dict[str, Dict[str, float]]":
+    """Per-policy, per-backend ``wall_s`` from a report at ``scale``.
+
+    Returns an empty dict when the baseline was generated at a different
+    scale (absolute walls are only comparable at matched sizing) or
+    carries no macro walls.  Schema version is deliberately ignored:
+    this reads the stable ``macro.policies.<p>.<backend>.wall_s`` shape
+    shared by every report generation.
+    """
+    if baseline.get("scale") != scale:
+        return {}
+    walls: Dict[str, Dict[str, float]] = {}
+    policies = baseline.get("macro", {}).get("policies", {})  # type: ignore[union-attr]
+    for policy, entry in policies.items():
+        per_backend = {}
+        for backend in ("event", "optimized", "reference"):
+            cell = entry.get(backend)
+            if isinstance(cell, dict) and cell.get("wall_s"):
+                per_backend[backend] = cell["wall_s"]
+        if per_backend:
+            walls[policy] = per_backend
+    return walls
+
+
+def compare_walls(
+    current: Dict[str, object], baseline: Dict[str, object]
+) -> "Dict[str, Dict[str, Dict[str, float]]]":
+    """Scale-matched wall_s speedups of ``current`` over ``baseline``.
+
+    ``{policy: {backend: {baseline_wall_s, wall_s, speedup}}}``; empty
+    when the scales differ or nothing overlaps.  ``speedup`` > 1 means
+    the current code runs faster than the baseline recorded.
+    """
+    walls = baseline_walls(baseline, current.get("scale", ""))
+    comparison: Dict[str, Dict[str, Dict[str, float]]] = {}
+    cur_policies = current.get("macro", {}).get("policies", {})  # type: ignore[union-attr]
+    for policy, backends in walls.items():
+        cur_entry = cur_policies.get(policy)
+        if not cur_entry:
+            continue
+        per_backend = {}
+        for backend, base_wall in backends.items():
+            cell = cur_entry.get(backend)
+            cur_wall = cell.get("wall_s") if isinstance(cell, dict) else None
+            if cur_wall:
+                per_backend[backend] = {
+                    "baseline_wall_s": base_wall,
+                    "wall_s": cur_wall,
+                    "speedup": round(base_wall / cur_wall, 3),
+                }
+        if per_backend:
+            comparison[policy] = per_backend
+    return comparison
+
+
+#: Default fractional wall-regression threshold (fail past 1.5x slower).
+#: Deliberately looser than the tick-loop check's 0.25: that check
+#: compares a same-run speed *ratio*, while this one compares absolute
+#: walls against a report recorded in an earlier session, where 10-20%
+#: machine drift between recordings is routine.
+WALL_THRESHOLD = 0.5
+
+
+def check_wall_regression(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = WALL_THRESHOLD,
+) -> List[str]:
+    """Flag policy/backend cells whose wall time regressed past ``threshold``.
+
+    A cell fails when its end-to-end wall is more than ``threshold``
+    (fractional) slower than the baseline recorded at the same scale —
+    i.e. speedup < 1/(1+threshold).  Returns human-readable failures;
+    empty means pass (including the no-comparable-baseline case).
+    """
+    failures: List[str] = []
+    floor = 1.0 / (1.0 + threshold)
+    for policy, backends in sorted(compare_walls(current, baseline).items()):
+        for backend, cell in sorted(backends.items()):
+            if cell["speedup"] < floor:
+                failures.append(
+                    f"{policy}/{backend}: wall {cell['wall_s']:.3f}s is "
+                    f"{1.0 / cell['speedup']:.2f}x the baseline's "
+                    f"{cell['baseline_wall_s']:.3f}s "
+                    f"(allowed: {1.0 + threshold:.2f}x)"
+                )
+    return failures
+
+
+def best_wall_speedup(
+    comparison: "Dict[str, Dict[str, Dict[str, float]]]",
+) -> "Dict[str, object]":
+    """The headline cell of a wall comparison: the largest speedup."""
+    best: Dict[str, object] = {}
+    for policy, backends in comparison.items():
+        for backend, cell in backends.items():
+            if not best or cell["speedup"] > best["speedup"]:  # type: ignore[operator]
+                best = {"policy": policy, "backend": backend, **cell}
+    return best

@@ -4,11 +4,21 @@ Each :class:`CacheLine` records whether the line was brought in by a
 prefetch (the P bit, cleared on the first demand hit — paper §4.1), which
 core prefetched it, and whether its DRAM service was a row hit (used for
 the RBHU metric of §6.1.1).
+
+Hot-path layout (DESIGN.md §15): each set is a plain insertion-ordered
+``dict`` (LRU at the front, MRU at the back).  Recency updates are
+*intrusive* — ``pop`` + reinsert moves a line to the MRU end in two C
+dict operations, and eviction takes the front key via ``next(iter(...))``
+— which measures faster than the former ``OrderedDict`` (its
+``popitem(last=False)`` pays for doubly-linked-list bookkeeping the plain
+dict does not carry).  ``lookup`` returns shared singletons for the two
+overwhelmingly common outcomes so a demand access allocates nothing; the
+simulation backends inline the same protocol and never build a
+:class:`LookupResult` at all.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -70,12 +80,14 @@ class L2Cache:
         if self.num_sets < 1:
             raise ValueError("cache too small for its associativity/line size")
         self.assoc = config.associativity
-        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self._sets: List[Dict[int, CacheLine]] = [
+            {} for _ in range(self.num_sets)
+        ]
         self.demand_hits = 0
         self.demand_misses = 0
         self.useful_prefetch_hits = 0
 
-    def _set_for(self, line_addr: int) -> OrderedDict:
+    def _set_for(self, line_addr: int) -> Dict[int, CacheLine]:
         return self._sets[line_addr % self.num_sets]
 
     def contains(self, line_addr: int) -> bool:
@@ -88,11 +100,11 @@ class L2Cache:
         writeback to DRAM when it is eventually evicted.
         """
         cache_set = self._sets[line_addr % self.num_sets]
-        line = cache_set.get(line_addr)
+        line = cache_set.pop(line_addr, None)
         if line is None:
             self.demand_misses += 1
             return _MISS
-        cache_set.move_to_end(line_addr)
+        cache_set[line_addr] = line  # reinsert at the MRU end
         self.demand_hits += 1
         if is_write:
             line.dirty = True
@@ -122,15 +134,17 @@ class L2Cache:
     ) -> Optional[EvictionInfo]:
         """Insert a line; returns eviction info when a victim is replaced."""
         cache_set = self._sets[line_addr % self.num_sets]
-        if line_addr in cache_set:
+        line = cache_set.pop(line_addr, None)
+        if line is not None:
             # Already present (e.g. a redundant fill); refresh LRU only.
-            cache_set.move_to_end(line_addr)
+            cache_set[line_addr] = line
             if dirty:
-                cache_set[line_addr].dirty = True
+                line.dirty = True
             return None
         evicted = None
         if len(cache_set) >= self.assoc:
-            victim_addr, victim = cache_set.popitem(last=False)
+            victim_addr = next(iter(cache_set))
+            victim = cache_set.pop(victim_addr)
             evicted = EvictionInfo(
                 line_addr=victim_addr,
                 prefetched_unused=victim.prefetched and not victim.ever_used,

@@ -8,7 +8,7 @@ paper §4.1 item 1 and footnote 9.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, ValuesView
 
 from repro.controller.request import MemRequest
 
@@ -80,12 +80,18 @@ class MSHR:
             self.total_freed += 1
         return entry
 
-    def entries(self) -> List[MSHREntry]:
-        """Snapshot of the in-flight entries (used by validation)."""
-        return list(self._entries.values())
+    def entries(self) -> ValuesView[MSHREntry]:
+        """Live view of the in-flight entries (used by validation).
+
+        Returns the dict's values view — an O(1) handle, not a list
+        copy.  Callers iterate it read-only; anyone who mutates the MSHR
+        while iterating must materialize it first (``list(...)``).
+        """
+        return self._entries.values()
 
     @property
     def occupancy(self) -> int:
+        # len() of a dict is O(1); no snapshotting or rebuild involved.
         return len(self._entries)
 
     @property

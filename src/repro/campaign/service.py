@@ -24,7 +24,8 @@ Endpoints (all JSON unless noted):
 * ``GET  /campaigns/<id>/metrics`` — the full dashboard payload
   (progress + live series + FDP histogram + queue pressure), computed
   from the streamed ``samples`` table (DESIGN.md §14).
-* ``GET  /campaigns/<id>/progress|series|fdp|pressure`` — the same
+* ``GET  /campaigns/<id>/progress|series|fdp|pressure`` (``series``
+  accepts ``?step=N`` for server-side downsampling) — the same
   aggregates individually.
 * ``GET  /campaigns/<id>/samples?after=N`` — raw streamed sample rows
   past cursor ``N`` plus the next cursor, for incremental tailing.
@@ -156,10 +157,12 @@ class CampaignService:
     def progress(self, campaign_id: str) -> Dict:
         return self._open(campaign_id).progress()
 
-    def series(self, campaign_id: str) -> Dict:
+    def series(self, campaign_id: str, step: int = 1) -> Dict:
         from repro.dashboard.aggregate import series
 
-        return series(self._open(campaign_id).inner)
+        if step < 1:
+            raise ServiceError(400, f"'step' must be >= 1, got {step}")
+        return series(self._open(campaign_id).inner, step=step)
 
     def fdp(self, campaign_id: str) -> Dict:
         from repro.dashboard.aggregate import fdp_histogram
@@ -241,7 +244,18 @@ class _Handler(BaseHTTPRequestHandler):
                 if parts[2] == "progress":
                     return self._send_json(200, self.service.progress(parts[1]))
                 if parts[2] == "series":
-                    return self._send_json(200, self.service.series(parts[1]))
+                    query = parse_qs(parsed.query)
+                    raw = (query.get("step") or ["1"])[0]
+                    try:
+                        step = int(raw)
+                    except ValueError:
+                        raise ServiceError(
+                            400,
+                            f"'step' must be a positive integer, got {raw!r}",
+                        ) from None
+                    return self._send_json(
+                        200, self.service.series(parts[1], step=step)
+                    )
                 if parts[2] == "fdp":
                     return self._send_json(200, self.service.fdp(parts[1]))
                 if parts[2] == "pressure":

@@ -94,7 +94,7 @@ def progress(campaign) -> Dict:
     }
 
 
-def series(campaign, *, max_jobs: Optional[int] = None) -> Dict:
+def series(campaign, *, max_jobs: Optional[int] = None, step: int = 1) -> Dict:
     """Per-core time series of every job that has streamed samples.
 
     For each job: the interval cycle stamps, per-core PAR, per-core
@@ -103,7 +103,16 @@ def series(campaign, *, max_jobs: Optional[int] = None) -> Dict:
     pressure pair — everything the dashboard sparklines draw.
     ``max_jobs`` caps the payload (expansion order wins); the response
     reports how many were dropped so truncation is never silent.
+
+    ``step`` downsamples server-side: every ``step``-th interval record
+    is kept (stride sampling from the first record, so the series start
+    is stable as new samples land), shrinking long-run payloads by
+    ``1/step`` while preserving shape.  The response echoes the applied
+    ``step`` so clients can recover absolute interval spacing via
+    ``interval_cycles * step``.
     """
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
     streams = _streams(campaign.ledger)
     ordered = [job for job in campaign.unique_jobs() if job.key in streams]
     dropped = 0
@@ -115,6 +124,8 @@ def series(campaign, *, max_jobs: Optional[int] = None) -> Dict:
         header, intervals = _split_stream(streams[job.key])
         if header is None:
             continue
+        if step > 1:
+            intervals = intervals[::step]
         num_cores = int(header["num_cores"])
         par = [[] for _ in range(num_cores)]
         drop_rate = [[] for _ in range(num_cores)]
@@ -150,7 +161,7 @@ def series(campaign, *, max_jobs: Optional[int] = None) -> Dict:
                 "buffer_max": buffer_max,
             }
         )
-    return {"jobs": out, "dropped_jobs": dropped}
+    return {"jobs": out, "dropped_jobs": dropped, "step": step}
 
 
 def fdp_histogram(campaign) -> Dict:

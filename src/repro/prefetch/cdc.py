@@ -9,8 +9,7 @@ occurrence are replayed from the current address as prefetch candidates.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import List
+from typing import Dict, List
 
 from repro.prefetch.base import Prefetcher
 
@@ -39,7 +38,9 @@ class CDCPrefetcher(Prefetcher):
         self.zones = zones
         self.history = history
         self.degree = degree
-        self._table: "OrderedDict[int, _ZoneEntry]" = OrderedDict()
+        # Plain insertion-ordered dict as LRU: pop+reinsert on hit,
+        # evict the front key (DESIGN.md §15).
+        self._table: Dict[int, _ZoneEntry] = {}
 
     @property
     def aggressiveness(self):
@@ -47,15 +48,16 @@ class CDCPrefetcher(Prefetcher):
 
     def on_access(self, line_addr, was_hit, pc=0, allocate=True) -> List[int]:
         zone = line_addr >> self.czone_shift
-        entry = self._table.get(zone)
+        table = self._table
+        entry = table.pop(zone, None)
         if entry is None:
             if not allocate:
                 return []
-            if len(self._table) >= self.zones:
-                self._table.popitem(last=False)
-            self._table[zone] = _ZoneEntry(line_addr)
+            if len(table) >= self.zones:
+                del table[next(iter(table))]
+            table[zone] = _ZoneEntry(line_addr)
             return []
-        self._table.move_to_end(zone)
+        table[zone] = entry  # reinsert at the MRU end
         delta = line_addr - entry.last_addr
         entry.last_addr = line_addr
         if delta == 0:

@@ -36,6 +36,8 @@ AGGRESSIVENESS_LEVELS: Tuple[Tuple[int, int], ...] = (
 class PollutionFilter:
     """Fixed-size filter of demand lines evicted by prefetch fills."""
 
+    __slots__ = ("mask", "bits")
+
     def __init__(self, size_bits: int = 12):
         self.mask = (1 << size_bits) - 1
         self.bits = bytearray(1 << size_bits)
@@ -54,6 +56,22 @@ class PollutionFilter:
 
 class FDPController:
     """Per-core feedback-directed throttle for a stream prefetcher."""
+
+    __slots__ = (
+        "prefetcher",
+        "accuracy_high",
+        "accuracy_low",
+        "lateness_threshold",
+        "pollution_threshold",
+        "level",
+        "pollution_filter",
+        "level_changes",
+        "sent",
+        "used",
+        "late",
+        "pollution_misses",
+        "demand_misses",
+    )
 
     def __init__(
         self,

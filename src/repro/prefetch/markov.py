@@ -9,8 +9,7 @@ workloads (paper §6.11) — a behaviour our reproduction preserves.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.prefetch.base import Prefetcher
 
@@ -24,7 +23,9 @@ class MarkovPrefetcher(Prefetcher):
         self.table_size = table_size
         self.successors = successors
         self.degree = degree
-        self._table: "OrderedDict[int, List[int]]" = OrderedDict()
+        # Plain insertion-ordered dict as LRU: pop+reinsert on touch,
+        # evict the front key (DESIGN.md §15).
+        self._table: Dict[int, List[int]] = {}
         self._last_miss: Optional[int] = None
 
     @property
@@ -35,17 +36,19 @@ class MarkovPrefetcher(Prefetcher):
         if was_hit:
             return []
         if self._last_miss is not None and allocate:
-            successors = self._table.get(self._last_miss)
+            table = self._table
+            last_miss = self._last_miss
+            successors = table.pop(last_miss, None)
             if successors is None:
-                if len(self._table) >= self.table_size:
-                    self._table.popitem(last=False)
-                self._table[self._last_miss] = [line_addr]
+                if len(table) >= self.table_size:
+                    del table[next(iter(table))]
+                table[last_miss] = [line_addr]
             else:
                 if line_addr in successors:
                     successors.remove(line_addr)
                 successors.insert(0, line_addr)
                 del successors[self.successors :]
-                self._table.move_to_end(self._last_miss)
+                table[last_miss] = successors  # reinsert at the MRU end
         self._last_miss = line_addr
         recorded = self._table.get(line_addr)
         if not recorded:

@@ -13,6 +13,15 @@ Each of the ``num_streams`` entries walks through three states:
 
 The degree/distance pair is mutable so that FDP (paper §6.12) can throttle
 the aggressiveness at interval boundaries.
+
+Hot-path layout (DESIGN.md §15): every entry carries a *normalized*
+match interval ``[lo, hi]`` maintained at the handful of mutation sites
+(allocate, train, trigger, rewind).  The per-access ``_find`` scan — one
+run over up to ``num_streams`` entries per L2 access — then reduces to a
+single range compare per entry, with no state branch and no low/high
+swap for descending streams.  ``mon_start``/``mon_end`` keep the paper's
+directed-region semantics (and the existing tests' expectations); lo/hi
+are derived bookkeeping only.
 """
 
 from __future__ import annotations
@@ -28,15 +37,29 @@ _MONITORING = 1
 class StreamEntry:
     """One tracked stream."""
 
-    __slots__ = ("state", "start", "direction", "mon_start", "mon_end", "last_use")
+    __slots__ = (
+        "state",
+        "start",
+        "direction",
+        "mon_start",
+        "mon_end",
+        "last_use",
+        "lo",
+        "hi",
+    )
 
-    def __init__(self, start: int, now_tick: int):
+    def __init__(self, start: int, now_tick: int, train_distance: int = 0):
         self.state = _ALLOCATED
         self.start = start
         self.direction = 0
         self.mon_start = start
         self.mon_end = start
         self.last_use = now_tick
+        # Normalized match window: while allocated, an access within
+        # train_distance of S trains the stream; while monitoring, the
+        # window is the (direction-normalized) monitoring region.
+        self.lo = start - train_distance
+        self.hi = start + train_distance
 
     def contains(self, line_addr: int) -> bool:
         low, high = self.mon_start, self.mon_end
@@ -78,19 +101,11 @@ class StreamPrefetcher(Prefetcher):
         self.distance = distance
 
     def _find(self, line_addr: int) -> Optional[StreamEntry]:
-        # Inlined StreamEntry.contains / near_start: this scan runs once
-        # per L2 access over up to num_streams entries, and the method
-        # calls dominated its cost.
-        train = self.train_distance
+        # First match wins (regions may overlap), same order as the
+        # allocation list — the normalized lo/hi window makes this a
+        # single compare per entry regardless of state or direction.
         for entry in self.entries:
-            if entry.state == _MONITORING:
-                low = entry.mon_start
-                high = entry.mon_end
-                if low > high:
-                    low, high = high, low
-                if low <= line_addr <= high:
-                    return entry
-            elif -train <= line_addr - entry.start <= train:
+            if entry.lo <= line_addr <= entry.hi:
                 return entry
         return None
 
@@ -107,7 +122,7 @@ class StreamPrefetcher(Prefetcher):
                     best = last_use
                     victim = entry
             entries.remove(victim)
-        entries.append(StreamEntry(line_addr, self._tick))
+        entries.append(StreamEntry(line_addr, self._tick, self.train_distance))
 
     def on_access(self, line_addr, was_hit, pc=0, allocate=True) -> List[int]:
         self._tick += 1
@@ -122,18 +137,30 @@ class StreamPrefetcher(Prefetcher):
         if entry.state == _ALLOCATED:
             if line_addr == entry.start:
                 return []
-            entry.direction = 1 if line_addr > entry.start else -1
-            entry.mon_start = entry.start
-            entry.mon_end = entry.start + self.distance * entry.direction
+            start = entry.start
+            direction = 1 if line_addr > start else -1
+            end = start + self.distance * direction
+            entry.direction = direction
+            entry.mon_start = start
+            entry.mon_end = end
             entry.state = _MONITORING
+            if direction > 0:
+                entry.lo = start
+                entry.hi = end
+            else:
+                entry.lo = end
+                entry.hi = start
             return []
         # Monitoring: issue degree prefetches past the leading edge, then
         # shift the monitoring region forward by the same amount.
         direction = entry.direction
         edge = entry.mon_end
         degree = self.degree
-        entry.mon_end += degree * direction
-        entry.mon_start += degree * direction
+        shift = degree * direction
+        entry.mon_end = edge + shift
+        entry.mon_start += shift
+        entry.lo += shift
+        entry.hi += shift
         self._last_triggered = entry
         if direction > 0:
             # Ascending streams (the common case) build the batch at C
@@ -160,3 +187,5 @@ class StreamPrefetcher(Prefetcher):
         retreat = min(count, self.degree) * entry.direction
         entry.mon_end -= retreat
         entry.mon_start -= retreat
+        entry.lo -= retreat
+        entry.hi -= retreat

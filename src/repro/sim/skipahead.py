@@ -140,22 +140,13 @@ def run_event(
         # System path).  Ascending batches come back as a ``range`` — the
         # issue loop only enumerates and len()s them.
         entries = pf.entries
-        train = pf.train_distance
         allocate = pf._allocate
 
         def stream_access(line_addr, was_hit, pc):
             pf._tick = tick = pf._tick + 1
             found = None
             for entry in entries:
-                if entry.state == _MONITORING:
-                    low = entry.mon_start
-                    high = entry.mon_end
-                    if low > high:
-                        low, high = high, low
-                    if low <= line_addr <= high:
-                        found = entry
-                        break
-                elif -train <= line_addr - entry.start <= train:
+                if entry.lo <= line_addr <= entry.hi:
                     found = entry
                     break
             if found is None:
@@ -168,9 +159,16 @@ def run_event(
                 if line_addr == start:
                     return ()
                 found.direction = direction = 1 if line_addr > start else -1
+                end = start + pf.distance * direction
                 found.mon_start = start
-                found.mon_end = start + pf.distance * direction
+                found.mon_end = end
                 found.state = _MONITORING
+                if direction > 0:
+                    found.lo = start
+                    found.hi = end
+                else:
+                    found.lo = end
+                    found.hi = start
                 return ()
             direction = found.direction
             edge = found.mon_end
@@ -178,6 +176,8 @@ def run_event(
             shift = degree * direction
             found.mon_end = edge + shift
             found.mon_start += shift
+            found.lo += shift
+            found.hi += shift
             pf._last_triggered = found
             if direction > 0:
                 return range(edge + 1, edge + degree + 1)
@@ -406,9 +406,9 @@ def run_event(
         # Fork of L2Cache.lookup — the branch bodies consume the line's
         # fields directly, so no LookupResult is ever built.
         cache_set = sets_by_core[core_id][line % nsets_by_core[core_id]]
-        line_obj = cache_set.get(line)
+        line_obj = cache_set.pop(line, None)
         if line_obj is not None:
-            cache_set.move_to_end(line)
+            cache_set[line] = line_obj  # reinsert at the MRU end
             cache.demand_hits += 1
             if is_write:
                 line_obj.dirty = True
@@ -455,7 +455,10 @@ def run_event(
                     core.waiting_mshr = True
                     core.stall_start = now
                     core.mshr_stalls += 1
-                    mshr_waiters.setdefault(id(mshr), deque()).append(core_id)
+                    # Wake queues are prebuilt per MSHR file in
+                    # System.__init__/run — plain indexing, no setdefault
+                    # allocation on the stall path.
+                    mshr_waiters[id(mshr)].append(core_id)
                     return
                 # Fused fork of build_request + MSHR.allocate +
                 # enqueue_demand + earliest_service (decode constants
@@ -590,14 +593,16 @@ def run_event(
         # side effects run, matching fill-then-handle-eviction order.
         dirty_fill = bool(mshr_entry is not None and mshr_entry.dirty_on_fill)
         cache_set = sets_by_core[core_id][line % nsets_by_core[core_id]]
-        if line in cache_set:
-            cache_set.move_to_end(line)
+        resident = cache_set.pop(line, None)
+        if resident is not None:
+            cache_set[line] = resident  # reinsert at the MRU end
             if dirty_fill:
-                cache_set[line].dirty = True
+                resident.dirty = True
         else:
             victim = None
             if len(cache_set) >= assoc_by_core[core_id]:
-                victim_addr, victim = cache_set.popitem(last=False)
+                victim_addr = next(iter(cache_set))
+                victim = cache_set.pop(victim_addr)
             cache_set[line] = CacheLine(is_prefetch, core_id, row_hit, dirty_fill)
             if victim is not None:
                 if victim.dirty:
@@ -617,7 +622,14 @@ def run_event(
                         fdp.pollution_filter.record_eviction(victim_addr)
 
         if mshr_entry is not None and mshr_entry.waiters:
-            for waiter_id in dict.fromkeys(mshr_entry.waiters):
+            waiters_list = mshr_entry.waiters
+            if len(waiters_list) == 1:
+                # Single waiter (the overwhelmingly common case): skip the
+                # order-preserving dedupe dict allocation entirely.
+                waiter_ids = waiters_list
+            else:
+                waiter_ids = dict.fromkeys(waiters_list)
+            for waiter_id in waiter_ids:
                 waiter = cores[waiter_id]
                 od = waiter.outstanding_demand
                 od.pop(line, None)

@@ -19,11 +19,12 @@ beyond ``_DEMAND_MSHR_RESERVE`` entries.
 
 from __future__ import annotations
 
+import gc
 import heapq
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Union
 
-from repro.cache.cache import L2Cache
+from repro.cache.cache import CacheLine, L2Cache
 from repro.cache.mshr import MSHR
 from repro.controller.accuracy import PrefetchAccuracyTracker
 from repro.controller.apd import AdaptivePrefetchDropper
@@ -189,7 +190,19 @@ class System:
             # helpers (_issue_writeback, _run_runahead, refresh) shared
             # with the heap backends transparently arm the scalar slot.
             self._schedule_tick = self._schedule_tick_event  # type: ignore[method-assign]
+        # One wake queue per distinct MSHR file, prebuilt so the MSHR-full
+        # stall path appends to an existing deque instead of paying a
+        # setdefault + deque() allocation per stall (DESIGN.md §15).
         self._mshr_waiters: Dict[int, Deque[int]] = {}
+        for mshr in self._mshrs:
+            self._mshr_waiters.setdefault(id(mshr), deque())
+        # Per-core structure tables for the inlined cache/ROB fast paths in
+        # _handle_core/_handle_fill (refreshed at run() time in case a test
+        # swapped a cache between construction and run).
+        self._sets_by_core: List[List[Dict]] = [c._sets for c in self._caches]
+        self._nsets_by_core: List[int] = [c.num_sets for c in self._caches]
+        self._assoc_by_core: List[int] = [c.assoc for c in self._caches]
+        self._rob_by_core: List[int] = [config.core.rob_size] * config.num_cores
         self._pf_service_pending: List[Dict[int, int]] = [
             {} for _ in range(config.num_cores)
         ]
@@ -286,6 +299,14 @@ class System:
             for channel_id, scheduler in enumerate(self._refresh):
                 self._push(scheduler.next_refresh_after(0), _REFRESH, channel_id)
 
+        # Refresh the per-core fast-path tables (a test may have swapped a
+        # cache or MSHR object between construction and run).
+        self._sets_by_core = [c._sets for c in self._caches]
+        self._nsets_by_core = [c.num_sets for c in self._caches]
+        self._assoc_by_core = [c.assoc for c in self._caches]
+        for mshr in self._mshrs:
+            self._mshr_waiters.setdefault(id(mshr), deque())
+
         # Hot loop: handlers, heap ops and the cycle cap are hoisted into
         # locals (hundreds of thousands of iterations).
         heap = self._heap
@@ -295,30 +316,40 @@ class System:
         handle_fill = self._handle_fill
         handle_tick = self._handle_tick
         cycle_cap = (1 << 62) if max_cycles is None else max_cycles
-        while heap and self._active_cores > 0:
-            time, _seq, kind, arg = heappop(heap)
-            self._now = time
-            if time > cycle_cap:
-                break
-            if kind == _CORE:
-                handle_core(arg, time, False)
-            elif kind == _FILL:
-                handle_fill(arg, time)
-            elif kind == _TICK:
-                # Only the earliest pending tick per channel is live; a
-                # popped event that no longer matches was superseded by an
-                # earlier tick whose wake chain already covers every
-                # serviceable bank, so handling it would be a no-op scan.
-                if tick_pending[arg] != time:
-                    continue
-                tick_pending[arg] = None
-                handle_tick(arg, time)
-            elif kind == _RETRY:
-                handle_core(arg, time, True)
-            elif kind == _REFRESH:
-                self._handle_refresh(arg, time)
-            else:
-                self._handle_interval(time)
+        # The loop allocates no reference cycles; generational GC passes
+        # over the (large, stable) heap/cache graphs are pure overhead, so
+        # collection pauses are deferred to the end of the run — the same
+        # policy the event backend applies (sim/skipahead.py).
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            while heap and self._active_cores > 0:
+                time, _seq, kind, arg = heappop(heap)
+                self._now = time
+                if time > cycle_cap:
+                    break
+                if kind == _CORE:
+                    handle_core(arg, time, False)
+                elif kind == _FILL:
+                    handle_fill(arg, time)
+                elif kind == _TICK:
+                    # Only the earliest pending tick per channel is live; a
+                    # popped event that no longer matches was superseded by an
+                    # earlier tick whose wake chain already covers every
+                    # serviceable bank, so handling it would be a no-op scan.
+                    if tick_pending[arg] != time:
+                        continue
+                    tick_pending[arg] = None
+                    handle_tick(arg, time)
+                elif kind == _RETRY:
+                    handle_core(arg, time, True)
+                elif kind == _REFRESH:
+                    self._handle_refresh(arg, time)
+                else:
+                    self._handle_interval(time)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         return self._collect(max_cycles)
 
     # -- core events ----------------------------------------------------------
@@ -369,15 +400,27 @@ class System:
         cache = self._caches[core_id]
         mshr = self._mshrs[core_id]
         line = entry.line_addr
-        result = cache.lookup(line, is_write=entry.is_write)
-        if result.hit:
+        is_write = entry.is_write
+        # Inlined fork of L2Cache.lookup (DESIGN.md §15) — the branch
+        # bodies consume the line's fields directly, so no LookupResult is
+        # ever built on the per-access path.
+        cache_set = self._sets_by_core[core_id][line % self._nsets_by_core[core_id]]
+        line_obj = cache_set.pop(line, None)
+        if line_obj is not None:
+            cache_set[line] = line_obj  # reinsert at the MRU end
+            cache.demand_hits += 1
+            if is_write:
+                line_obj.dirty = True
             if not retry:
                 core.l2_hits += 1
-            if result.first_use_of_prefetch:
+            if line_obj.prefetched and not line_obj.ever_used:
+                line_obj.ever_used = True
+                line_obj.prefetched = False
+                cache.useful_prefetch_hits += 1
                 self._count_useful(
-                    result.prefetch_core,
+                    line_obj.core_id,
                     line,
-                    row_hit_fill=result.prefetch_row_hit_fill,
+                    row_hit_fill=line_obj.row_hit_fill,
                     late=False,
                 )
             prefetcher = self._prefetchers[core_id]
@@ -386,6 +429,7 @@ class System:
                 if candidates:
                     self._issue_prefetches(core_id, candidates, entry.pc, now)
         else:
+            cache.demand_misses += 1
             if not retry:
                 # FDP feedback counts architectural misses, so it shares the
                 # retry guard: an access that stalled on a full MSHR file and
@@ -397,7 +441,8 @@ class System:
                     fdp.demand_misses += 1
                     if fdp.pollution_filter.check_miss(line):
                         fdp.pollution_misses += 1
-            mshr_entry = mshr.get(line)
+            mshr_entries = mshr._entries
+            mshr_entry = mshr_entries.get(line)
             if mshr_entry is not None:
                 request = mshr_entry.request
                 if request.is_prefetch:
@@ -409,7 +454,7 @@ class System:
                     self._count_useful(
                         request.core_id, line, row_hit_fill=None, late=True
                     )
-                if entry.is_write:
+                if is_write:
                     mshr_entry.dirty_on_fill = True
                 mshr_entry.waiters.append(core_id)
                 # Delete-then-set keeps the dict ordered by send time, the
@@ -419,16 +464,16 @@ class System:
                     del od[line]
                 od[line] = core.instructions_issued
             else:
-                if mshr.full:
+                if len(mshr_entries) >= mshr.capacity:
                     core.stalled = True
                     core.waiting_mshr = True
                     core.stall_start = now
                     core.mshr_stalls += 1
-                    self._mshr_waiters.setdefault(id(mshr), deque()).append(core_id)
+                    self._mshr_waiters[id(mshr)].append(core_id)
                     return
                 request = self.engine.build_request(line, core_id, False, now)
                 mshr_entry = mshr.allocate(line, request)
-                mshr_entry.dirty_on_fill = entry.is_write
+                mshr_entry.dirty_on_fill = is_write
                 mshr_entry.waiters.append(core_id)
                 self.engine.enqueue_demand(request)
                 self._schedule_tick(
@@ -445,13 +490,35 @@ class System:
                     self._issue_prefetches(core_id, candidates, entry.pc, now)
 
         core.pending_entry = None
-        if core.rob_blocked():
+        # Inlined fork of CoreState.rob_blocked (first outstanding entry is
+        # the oldest; see that method's ordering comment).
+        od = core.outstanding_demand
+        if od and core.instructions_issued - next(iter(od.values())) >= (
+            self._rob_by_core[core_id]
+        ):
             core.stalled = True
             core.stall_start = now
             if self.config.core.runahead:
                 self._run_runahead(core, now)
         else:
-            self._schedule_core_next(core, now)
+            # Inlined _schedule_core_next (one call per access otherwise).
+            if core.accesses_done >= core.target_accesses:
+                self._finish_core(core, now)
+                return
+            if core.lookahead:
+                nxt = core.lookahead.popleft()
+            else:
+                nxt = next(core.trace, None)
+            if nxt is None:
+                self._finish_core(core, now)
+                return
+            core.pending_entry = nxt
+            width = core.retire_width
+            self._seq += 1
+            heapq.heappush(
+                self._heap,
+                (now + (nxt.gap + width - 1) // width, self._seq, _CORE, core_id),
+            )
 
     # -- prefetch issue ---------------------------------------------------------
 
@@ -466,12 +533,17 @@ class System:
         prefetcher = self._prefetchers[core_id]
         engine = self.engine
         # Direct membership probes (cache.touch_for_prefetcher and
-        # mshr.contains are pure presence checks): this loop runs for
-        # every candidate of every trigger.
+        # mshr.contains are pure presence checks) and bound-method hoists:
+        # this loop runs for every candidate of every trigger.
         sets = cache._sets
         num_sets = cache.num_sets
         mshr_entries = mshr._entries
         mshr_cap = mshr.capacity - _DEMAND_MSHR_RESERVE
+        build_request = engine.build_request
+        enqueue_prefetch = engine.enqueue_prefetch
+        earliest_service = engine.earliest_service
+        schedule_tick = self._schedule_tick
+        record_sent = self.tracker.record_sent
         rejected_tail = 0
         for index, candidate in enumerate(candidates):
             if candidate in sets[candidate % num_sets] or candidate in mshr_entries:
@@ -483,16 +555,14 @@ class System:
                 stats.pf_mshr_rejected += len(candidates) - index
                 rejected_tail = len(candidates) - index
                 break
-            request = engine.build_request(candidate, core_id, True, now)
-            if engine.enqueue_prefetch(request):
+            request = build_request(candidate, core_id, True, now)
+            if enqueue_prefetch(request):
                 mshr.allocate(candidate, request)
-                self.tracker.record_sent(core_id)
+                record_sent(core_id)
                 stats.pf_sent += 1
                 if fdp is not None:
                     fdp.sent += 1
-                self._schedule_tick(
-                    request.channel, engine.earliest_service(request, now)
-                )
+                schedule_tick(request.channel, earliest_service(request, now))
             else:
                 stats.pf_rejected_full += len(candidates) - index
                 rejected_tail = len(candidates) - index
@@ -585,17 +655,21 @@ class System:
     def _handle_fill(self, request: MemRequest, now: int) -> None:
         core_id = request.core_id
         mshr = self._mshrs[core_id]
-        cache = self._caches[core_id]
         stats = self.results[core_id]
         line = request.line_addr
         if request.is_write:
             # Writeback completion: the data left the chip; nothing fills.
             stats.writeback_fills += 1
             return
-        mshr_entry = mshr.free(line)
+        # Inlined fork of MSHR.free.
+        mshr_entries = mshr._entries
+        mshr_entry = mshr_entries.pop(line, None)
+        if mshr_entry is not None:
+            mshr.total_freed += 1
         row_hit = bool(request.row_hit_service)
 
-        if request.is_prefetch:
+        is_prefetch = request.is_prefetch
+        if is_prefetch:
             stats.prefetch_fills += 1
             if row_hit:
                 stats.prefetch_row_hits += 1
@@ -614,32 +688,54 @@ class System:
             if row_hit:
                 stats.demand_row_hits += 1
 
-        evicted = cache.fill(
-            line,
-            prefetched=request.is_prefetch,
-            core_id=core_id,
-            row_hit_fill=row_hit,
-            dirty=bool(mshr_entry is not None and mshr_entry.dirty_on_fill),
-        )
-        if evicted is not None:
-            if evicted.dirty:
-                self._issue_writeback(evicted.core_id, evicted.line_addr, now)
-            if evicted.prefetched_unused:
-                self.results[evicted.core_id].pf_evicted_unused += 1
-                self._note_unused_prefetch(evicted.core_id, evicted.line_addr)
-            elif request.is_prefetch:
-                fdp = self._fdp[core_id]
-                if fdp is not None:
-                    fdp.pollution_filter.record_eviction(evicted.line_addr)
+        # Inlined fork of L2Cache.fill (DESIGN.md §15) — victim fields are
+        # consumed right here, so no EvictionInfo is built.  The new line
+        # lands before the victim's side effects run, matching
+        # fill-then-handle-eviction order.
+        dirty_fill = bool(mshr_entry is not None and mshr_entry.dirty_on_fill)
+        cache_set = self._sets_by_core[core_id][line % self._nsets_by_core[core_id]]
+        resident = cache_set.pop(line, None)
+        if resident is not None:
+            cache_set[line] = resident  # reinsert at the MRU end
+            if dirty_fill:
+                resident.dirty = True
+        else:
+            victim = None
+            if len(cache_set) >= self._assoc_by_core[core_id]:
+                victim_addr = next(iter(cache_set))
+                victim = cache_set.pop(victim_addr)
+            cache_set[line] = CacheLine(is_prefetch, core_id, row_hit, dirty_fill)
+            if victim is not None:
+                if victim.dirty:
+                    self._issue_writeback(victim.core_id, victim_addr, now)
+                if victim.prefetched and not victim.ever_used:
+                    self.results[victim.core_id].pf_evicted_unused += 1
+                    self._note_unused_prefetch(victim.core_id, victim_addr)
+                elif is_prefetch:
+                    fdp = self._fdp[core_id]
+                    if fdp is not None:
+                        fdp.pollution_filter.record_eviction(victim_addr)
 
         if mshr_entry is not None and mshr_entry.waiters:
-            # Order-preserving dedupe: a core can appear twice (demand then
-            # retry), and wake order must not depend on hash order.
-            for waiter_id in dict.fromkeys(mshr_entry.waiters):
-                waiter = self.cores[waiter_id]
+            waiters = mshr_entry.waiters
+            if len(waiters) == 1:
+                # Single waiter (the overwhelmingly common case): skip the
+                # order-preserving dedupe dict allocation entirely.
+                waiter = self.cores[waiters[0]]
                 waiter.outstanding_demand.pop(line, None)
                 self._maybe_resume(waiter, now)
-        self._wake_mshr_waiters(mshr, now)
+            else:
+                # Order-preserving dedupe: a core can appear twice (demand
+                # then retry), and wake order must not depend on hash order.
+                for waiter_id in dict.fromkeys(waiters):
+                    waiter = self.cores[waiter_id]
+                    waiter.outstanding_demand.pop(line, None)
+                    self._maybe_resume(waiter, now)
+        # Inlined fork of _wake_mshr_waiters (the drop path wakes through
+        # the shared method).
+        mshr_waiters = self._mshr_waiters.get(id(mshr))
+        if mshr_waiters and len(mshr_entries) < mshr.capacity:
+            self._push(now, _RETRY, mshr_waiters.popleft())
 
     def _issue_writeback(self, core_id: int, line: int, now: int) -> None:
         """Send a dirty evicted line back to DRAM.

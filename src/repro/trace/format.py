@@ -47,6 +47,7 @@ import struct
 import tempfile
 import zlib
 from dataclasses import dataclass
+from itertools import chain
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
@@ -448,7 +449,23 @@ class TraceReader:
         """Decode records ``start:start+limit``, adding ``offset`` to addresses.
 
         Blocks before ``start`` are skipped without decoding.  Memory is
-        bounded by one block regardless of trace length.
+        bounded by one block regardless of trace length.  The stream is
+        flattened from :meth:`entry_batches` through the C chain iterator,
+        so per-entry consumers (``next(core.trace)``) never resume a
+        Python generator frame per record (DESIGN.md §15).
+        """
+        return chain.from_iterable(
+            self.entry_batches(start=start, limit=limit, offset=offset)
+        )
+
+    def entry_batches(
+        self, start: int = 0, limit: Optional[int] = None, offset: int = 0
+    ) -> Iterator[List[TraceEntry]]:
+        """Decode the same window as :meth:`entries`, one list per block.
+
+        The final batch may be short (the limit can land mid-block); a
+        window that ends mid-block returns without validating that
+        block's trailing bytes, exactly like the per-entry decoder did.
         """
         if start < 0:
             raise ValueError(f"start must be non-negative, got {start}")
@@ -465,6 +482,9 @@ class TraceReader:
         for in_block, payload in self._blocks(skip_entries=skip_blocks_entries):
             position = 0
             line = 0
+            batch: List[TraceEntry] = []
+            batch_append = batch.append
+            done = False
             for _ in range(in_block):
                 gap_write, position = read_varint(payload, position)
                 delta, position = read_varint(payload, position)
@@ -473,18 +493,27 @@ class TraceReader:
                 if drop > 0:
                     drop -= 1
                     continue
-                yield entry_new(
-                    entry_cls,
-                    (gap_write >> 1, line + offset, pc, bool(gap_write & 1)),
+                batch_append(
+                    entry_new(
+                        entry_cls,
+                        (gap_write >> 1, line + offset, pc, bool(gap_write & 1)),
+                    )
                 )
                 to_yield -= 1
                 if to_yield <= 0:
-                    return
+                    done = True
+                    break
+            if done:
+                if batch:
+                    yield batch
+                return
             if position != len(payload):
                 raise TraceFormatError(
                     f"{self.path}: block payload has {len(payload) - position} "
                     "trailing bytes after its last record"
                 )
+            if batch:
+                yield batch
 
     def __iter__(self) -> Iterator[TraceEntry]:
         return self.entries()

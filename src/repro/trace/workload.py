@@ -36,6 +36,7 @@ from __future__ import annotations
 import difflib
 import os
 from dataclasses import dataclass, field
+from itertools import chain
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
@@ -230,8 +231,15 @@ class TraceWorkload:
         window is exhausted (an infinite iterator, like the synthetic
         generator); without it the stream ends and the core finishes
         early.  Deterministic: replaying a trace involves no randomness,
-        so the simulation seed does not perturb it.
+        so the simulation seed does not perturb it.  Flattened from
+        :meth:`entry_batches` through the C chain iterator, so the
+        per-access ``next(core.trace)`` hop never resumes a Python
+        generator frame per record (DESIGN.md §15).
         """
+        return chain.from_iterable(self.entry_batches(offset))
+
+    def entry_batches(self, offset: int = 0) -> Iterator[List[TraceEntry]]:
+        """The batch form of :meth:`entries`: one list per trace block."""
         header = probe_header(self.path)
         if header.digest != self.digest:
             raise TraceFormatError(
@@ -244,9 +252,12 @@ class TraceWorkload:
             return
         limit = self.limit if self.limit else None
         reader = TraceReader(self.path)
+        start = self.start
         while True:
-            for entry in reader.entries(start=self.start, limit=limit, offset=offset):
-                yield entry
+            for batch in reader.entry_batches(
+                start=start, limit=limit, offset=offset
+            ):
+                yield batch
             if not self.loop:
                 return
 

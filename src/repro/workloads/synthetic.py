@@ -13,13 +13,20 @@ a :class:`BenchmarkProfile`.  Two access populations are interleaved:
 
 All randomness comes from a seeded ``numpy`` Generator; random draws are
 batched for speed.
+
+Hot-path layout (DESIGN.md §15): entries are built a chunk at a time in
+:meth:`generate_batches` and flattened through
+``itertools.chain.from_iterable``, so the per-access ``next(core.trace)``
+hop in the simulation loop is serviced by the C chain iterator walking a
+prebuilt list instead of resuming a Python generator frame per entry.
 """
 
 from __future__ import annotations
 
 import zlib
 from collections import deque
-from typing import Iterator
+from itertools import chain
+from typing import Iterator, List
 
 import numpy as np
 
@@ -48,6 +55,14 @@ class SyntheticTraceGenerator:
         address spaces).  It is folded into the base pointers up front so
         the per-entry cost is zero; callers pass line-aligned offsets
         (multiples of 8), which keeps the low-bit pc hash unchanged.
+        """
+        return chain.from_iterable(self.generate_batches(offset))
+
+    def generate_batches(self, offset: int = 0) -> Iterator[List[TraceEntry]]:
+        """Yield the same entry stream as :meth:`generate`, one list per
+        internal chunk — the batch form the simulation backends flatten
+        cheaply, and bulk consumers (converters, profilers) can extend
+        from directly.
         """
         profile = self.profile
         # zlib.crc32 is stable across processes (str.hash is randomized).
@@ -85,10 +100,11 @@ class SyntheticTraceGenerator:
         # loop is the single hottest allocation site in a simulation.
         entry_new = tuple.__new__
         entry_cls = TraceEntry
+        chunk_range = range(_CHUNK)
         while True:
             # Batched random draws for one chunk of accesses, converted to
             # plain Python lists up front: per-element numpy scalar
-            # indexing in the yield loop costs several times a list load.
+            # indexing in the build loop costs several times a list load.
             gaps = (rng.geometric(gap_p, _CHUNK) - 1).tolist()
             kind_draw = rng.random(_CHUNK).tolist()
             stream_pick = rng.integers(0, num_streams, _CHUNK).tolist()
@@ -102,7 +118,12 @@ class SyntheticTraceGenerator:
                 if profile.hot_lines
                 else None
             )
-            for i in range(_CHUNK):
+            batch: List[TraceEntry] = []
+            batch_append = batch.append
+            for i in chunk_range:
+                # The phase check is per-entry because a phase boundary can
+                # land mid-chunk; profiles without phases skip it in one
+                # falsy test.
                 if phase_period:
                     in_bad_phase = (access_index // phase_period) % phase_slots != 0
                     if in_bad_phase:
@@ -130,9 +151,13 @@ class SyntheticTraceGenerator:
                     pc = 8 + (line & 0x7)
                 recent_append(line)
                 access_index += 1
-                yield entry_new(
-                    entry_cls, (gaps[i], line, pc, write_draw[i] < write_fraction)
+                batch_append(
+                    entry_new(
+                        entry_cls,
+                        (gaps[i], line, pc, write_draw[i] < write_fraction),
+                    )
                 )
+            yield batch
 
     @staticmethod
     def _fresh_base(rng: np.random.Generator, context: int) -> int:

@@ -218,7 +218,7 @@ class TestCLI:
         with open(out, "r", encoding="utf-8") as handle:
             report = json.load(handle)
         assert report["schema_version"] == SCHEMA_VERSION
-        assert report["bench"] == "BENCH_6"
+        assert report["bench"] == "BENCH_10"
         assert report["scale"] == "tiny"
         entry = report["macro"]["policies"]["fcfs"]
         assert entry["event"]["tick_cycles_per_sec"] > 0

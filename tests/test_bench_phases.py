@@ -1,0 +1,194 @@
+"""Tests for the phase-attributed profiling layer (repro.bench.phases)."""
+
+import json
+
+import pytest
+
+from repro.bench import SCHEMA_VERSION, load_report, write_report
+from repro.bench.phases import (
+    FRONT_END_BUCKETS,
+    PHASE_BUCKETS,
+    baseline_walls,
+    best_wall_speedup,
+    check_wall_regression,
+    classify,
+    compare_walls,
+    phase_table,
+    run_phases,
+)
+
+
+class TestBucketContract:
+    def test_bucket_names_are_stable(self):
+        # The exact tuple is a schema contract: the report, the CLI table
+        # and the CI assertion all key on these names in this order.
+        assert PHASE_BUCKETS == (
+            "workload",
+            "core_cache",
+            "prefetcher",
+            "controller",
+            "telemetry",
+            "other",
+        )
+
+    def test_front_end_buckets_are_a_subset(self):
+        assert set(FRONT_END_BUCKETS) < set(PHASE_BUCKETS)
+        assert "controller" not in FRONT_END_BUCKETS
+
+    @pytest.mark.parametrize(
+        "filename,funcname,bucket",
+        [
+            ("/x/src/repro/workloads/synthetic.py", "generate", "workload"),
+            ("/x/src/repro/trace/format.py", "entry_batches", "workload"),
+            ("/x/src/repro/sim/system.py", "_handle_core", "core_cache"),
+            ("/x/src/repro/sim/skipahead.py", "run_event", "core_cache"),
+            ("/x/src/repro/cache/cache.py", "lookup", "core_cache"),
+            ("/x/src/repro/core/core.py", "rob_blocked", "core_cache"),
+            ("/x/src/repro/prefetch/stream.py", "access", "prefetcher"),
+            ("/x/src/repro/controller/engine.py", "tick", "controller"),
+            ("/x/src/repro/dram/bank.py", "service", "controller"),
+            ("/x/src/repro/telemetry/collector.py", "sample", "telemetry"),
+            ("/x/src/repro/metrics/speedup.py", "ipc", "telemetry"),
+            ("~", "<built-in method builtins.len>", "other"),
+            ("/usr/lib/python3.11/heapq.py", "heappush", "other"),
+            (
+                "~",
+                "<method 'geometric' of 'numpy.random._generator.Generator'"
+                " objects>",
+                "workload",
+            ),
+        ],
+    )
+    def test_classify(self, filename, funcname, bucket):
+        assert classify(filename, funcname) == bucket
+
+
+class TestRunPhases:
+    @pytest.fixture(scope="class")
+    def entry(self):
+        return run_phases("padc", "tiny", "event")
+
+    def test_every_bucket_reported(self, entry):
+        assert tuple(entry["buckets"]) == PHASE_BUCKETS
+        assert tuple(entry["shares"]) == PHASE_BUCKETS
+
+    def test_buckets_partition_the_profiled_time(self, entry):
+        # Self-time attribution is a partition: buckets sum to the
+        # profiled total exactly (rounding noise only).
+        assert sum(entry["buckets"].values()) == pytest.approx(
+            entry["profiled_s"], rel=1e-3
+        )
+        assert sum(entry["shares"].values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_phases_sum_to_wall_time(self, entry):
+        # The whole run is profiled, so the attributed time accounts for
+        # (almost) the entire measured wall — anything beyond rounding
+        # would mean unattributed simulator work.
+        assert entry["profiled_s"] <= entry["wall_s"]
+        assert entry["profiled_s"] >= 0.9 * entry["wall_s"]
+
+    def test_simulation_is_the_macrobench_run(self, entry):
+        assert entry["policy"] == "padc"
+        assert entry["backend"] == "event"
+        assert entry["cycles"] > 0
+        assert entry["accesses_per_core"] > 0
+
+    def test_front_end_share_matches_its_buckets(self, entry):
+        front = sum(entry["buckets"][name] for name in FRONT_END_BUCKETS)
+        assert entry["front_end_share"] == pytest.approx(
+            front / entry["profiled_s"], abs=0.001
+        )
+
+    def test_phase_table_renders_every_bucket(self, entry):
+        (line,) = phase_table([entry])
+        for name in PHASE_BUCKETS:
+            assert name in line
+        assert "front-end" in line
+        assert "padc" in line
+
+
+class TestReportRoundTrip:
+    def test_phases_section_round_trips(self, tmp_path):
+        entry = run_phases("fcfs", "tiny", "event")
+        report = {
+            "schema_version": SCHEMA_VERSION,
+            "bench": "BENCH_10",
+            "scale": "tiny",
+            "phases": {"backend": "event", "policies": {"fcfs": entry}},
+        }
+        path = str(tmp_path / "BENCH_10.json")
+        write_report(path, report)
+        loaded = load_report(path)
+        assert loaded == json.loads(json.dumps(report))
+        assert loaded["schema_version"] == SCHEMA_VERSION
+        # write_report sorts keys, so compare membership, not order.
+        assert set(loaded["phases"]["policies"]["fcfs"]["buckets"]) == set(
+            PHASE_BUCKETS
+        )
+
+
+def _wall_report(scale="medium", wall=2.0, policy="padc", backend="event"):
+    return {
+        "scale": scale,
+        "macro": {"policies": {policy: {backend: {"wall_s": wall}}}},
+    }
+
+
+class TestWallComparison:
+    def test_baseline_walls_scale_matched_only(self):
+        baseline = _wall_report(scale="medium", wall=3.0)
+        assert baseline_walls(baseline, "medium") == {"padc": {"event": 3.0}}
+        assert baseline_walls(baseline, "tiny") == {}
+
+    def test_schema_version_is_ignored(self):
+        # BENCH_6.json is schema 2; the wall comparison must still read it.
+        baseline = _wall_report(wall=3.0)
+        baseline["schema_version"] = 2
+        current = _wall_report(wall=2.0)
+        current["schema_version"] = SCHEMA_VERSION
+        comparison = compare_walls(current, baseline)
+        assert comparison["padc"]["event"]["speedup"] == 1.5
+
+    def test_speedup_direction(self):
+        comparison = compare_walls(_wall_report(wall=2.0), _wall_report(wall=3.0))
+        cell = comparison["padc"]["event"]
+        assert cell["baseline_wall_s"] == 3.0
+        assert cell["wall_s"] == 2.0
+        assert cell["speedup"] == 1.5
+        assert best_wall_speedup(comparison)["policy"] == "padc"
+
+    def test_regression_fires_on_injected_slowdown(self):
+        # 2.0s -> 4.0s is a 2x slowdown: past the default 50% threshold.
+        failures = check_wall_regression(
+            _wall_report(wall=4.0), _wall_report(wall=2.0)
+        )
+        assert len(failures) == 1
+        assert "padc/event" in failures[0]
+
+    def test_regression_threshold_boundary(self):
+        # The default threshold tolerates up to a 1.5x slowdown: absolute
+        # walls are compared against an earlier session's recording, and
+        # 10-20% machine drift between recordings is routine.
+        assert check_wall_regression(
+            _wall_report(wall=3.0), _wall_report(wall=2.0)
+        ) == []
+        assert check_wall_regression(
+            _wall_report(wall=3.01), _wall_report(wall=2.0)
+        )
+
+    def test_threshold_is_overridable(self):
+        failures = check_wall_regression(
+            _wall_report(wall=2.3), _wall_report(wall=2.0), threshold=0.1
+        )
+        assert len(failures) == 1
+
+    def test_no_comparable_baseline_is_a_pass(self):
+        assert check_wall_regression(
+            _wall_report(scale="tiny", wall=9.0),
+            _wall_report(scale="medium", wall=1.0),
+        ) == []
+
+    def test_unmatched_policy_ignored(self):
+        assert compare_walls(
+            _wall_report(policy="fcfs"), _wall_report(policy="padc")
+        ) == {}

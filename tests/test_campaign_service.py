@@ -194,6 +194,28 @@ class TestServiceValidation:
         assert status == 400
         assert "xml" in body["error"]
 
+    def test_series_step_downsampling_and_validation(self, server):
+        base, _ = server
+        _, created = request(
+            f"{base}/campaigns", payload={"spec": small_spec_dict()}, method="POST"
+        )
+        campaign_id = created["id"]
+        # Valid steps are echoed back (no samples yet: jobs list is empty).
+        status, body = request(f"{base}/campaigns/{campaign_id}/series")
+        assert status == 200
+        assert body["step"] == 1
+        status, body = request(f"{base}/campaigns/{campaign_id}/series?step=5")
+        assert status == 200
+        assert body["step"] == 5
+        assert body["jobs"] == []
+        # Non-integer and non-positive steps are 400s, not server errors.
+        status, body = request(f"{base}/campaigns/{campaign_id}/series?step=abc")
+        assert status == 400
+        assert "step" in body["error"]
+        status, body = request(f"{base}/campaigns/{campaign_id}/series?step=0")
+        assert status == 400
+        assert "step" in body["error"]
+
     def test_traversal_ids_rejected(self):
         for raw in ("", ".", "..", "a/b", "a\\b", "../etc"):
             with pytest.raises(ServiceError) as excinfo:

@@ -1,0 +1,96 @@
+"""Tests for server-side series downsampling (?step=N, DESIGN.md §15)."""
+
+import pytest
+
+from repro.dashboard.aggregate import series
+
+
+def _record(cycle, num_cores=2):
+    return {
+        "type": "interval",
+        "cycle": cycle,
+        "core": {
+            "par": [0.5] * num_cores,
+            "pf_sent": [10] * num_cores,
+            "pf_dropped": [1] * num_cores,
+            "fdp_level": [3] * num_cores,
+        },
+        "system": {
+            "buffer_occupancy_mean": 4.0,
+            "buffer_occupancy_max": 9,
+        },
+    }
+
+
+class _Job:
+    def __init__(self, key):
+        self.key = key
+        self.benchmarks = ["swim_00"]
+        self.policy = "padc"
+        self.variant = "base"
+        self.seed = 7
+
+
+class _Store:
+    """Minimal ledger double: the samples table the aggregates fold over."""
+
+    def __init__(self, rows):
+        self._rows = rows
+
+    def samples_since(self, after):
+        return self._rows[after:], len(self._rows)
+
+
+class _Campaign:
+    def __init__(self, jobs, rows):
+        self._jobs = jobs
+        self.ledger = _Store(rows)
+
+    def unique_jobs(self):
+        return self._jobs
+
+
+def _campaign(intervals=10, num_cores=2):
+    records = [{"type": "header", "num_cores": num_cores, "interval_cycles": 1000}]
+    records.extend(_record((i + 1) * 1000, num_cores) for i in range(intervals))
+    rows = [{"key": "job-a", "record": record} for record in records]
+    return _Campaign([_Job("job-a")], rows)
+
+
+class TestSeriesStep:
+    def test_default_step_keeps_every_interval(self):
+        payload = series(_campaign(intervals=10))
+        assert payload["step"] == 1
+        (job,) = payload["jobs"]
+        assert job["cycles"] == [(i + 1) * 1000 for i in range(10)]
+
+    def test_stride_sampling_keeps_every_nth_from_the_first(self):
+        payload = series(_campaign(intervals=10), step=3)
+        assert payload["step"] == 3
+        (job,) = payload["jobs"]
+        # Records 0, 3, 6, 9 — anchored at the first interval so the
+        # series start is stable as new samples land.
+        assert job["cycles"] == [1000, 4000, 7000, 10000]
+        # Every per-core series is downsampled in lockstep.
+        assert all(len(core_series) == 4 for core_series in job["par"])
+        assert all(len(core_series) == 4 for core_series in job["drop_rate"])
+        assert all(len(core_series) == 4 for core_series in job["fdp_level"])
+        assert len(job["buffer_mean"]) == len(job["buffer_max"]) == 4
+
+    def test_step_larger_than_series_keeps_the_first(self):
+        payload = series(_campaign(intervals=5), step=100)
+        (job,) = payload["jobs"]
+        assert job["cycles"] == [1000]
+
+    def test_step_must_be_positive(self):
+        with pytest.raises(ValueError, match="step"):
+            series(_campaign(), step=0)
+        with pytest.raises(ValueError, match="step"):
+            series(_campaign(), step=-3)
+
+    def test_downsampled_values_match_the_full_series(self):
+        full = series(_campaign(intervals=12))["jobs"][0]
+        sampled = series(_campaign(intervals=12), step=4)["jobs"][0]
+        assert sampled["cycles"] == full["cycles"][::4]
+        assert sampled["par"][0] == full["par"][0][::4]
+        assert sampled["buffer_max"] == full["buffer_max"][::4]

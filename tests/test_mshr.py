@@ -67,3 +67,38 @@ class TestEntrySemantics:
         entry.waiters.append(0)
         entry.waiters.append(2)
         assert mshr.get(1).waiters == [0, 2]
+
+
+class TestCheapViews:
+    """DESIGN.md §15 regression pins: entries() is a view, occupancy O(1).
+
+    The pre-optimization ``entries()`` materialized a fresh list per
+    call, which the validate-mode checker turned into an O(n) allocation
+    on every scan.  These tests pin the cheap-view contract so a future
+    refactor that quietly reintroduces copying fails loudly.
+    """
+
+    def test_entries_is_a_live_view_not_a_copy(self):
+        from collections.abc import ValuesView
+
+        mshr = MSHR(4)
+        view = mshr.entries()
+        assert isinstance(view, ValuesView)
+        assert len(view) == 0
+        entry = mshr.allocate(1, request(1))
+        # The same view object observes the mutation: no re-call, no copy.
+        assert len(view) == 1
+        assert entry in view
+        mshr.free(1)
+        assert len(view) == 0
+
+    def test_occupancy_matches_entries_without_scanning(self):
+        mshr = MSHR(8)
+        for line in range(5):
+            mshr.allocate(line, request(line))
+        assert mshr.occupancy == 5 == len(mshr.entries())
+        assert not mshr.full
+        for line in range(5, 8):
+            mshr.allocate(line, request(line))
+        assert mshr.full
+        assert mshr.occupancy == 8 == len(mshr.entries())
